@@ -1,0 +1,55 @@
+"""Ablation: edge filtering and set-intersection result reuse.
+
+The paper integrates both optimizations and reports their effectiveness in
+the online appendix; this bench regenerates that study on two graphs.
+
+Expected shape: both optimizations reduce time and never change counts;
+reuse helps most on patterns with nested backward-neighbor sets (P1's
+diamond is the canonical Fig. 7 case); edge filtering helps most on
+patterns with high-degree query vertices.
+"""
+
+import pytest
+from conftest import pedantic
+
+from repro.bench.harness import patterns_for, run_cell
+from repro.bench.reporting import Table, format_ms
+from repro.core.config import TDFSConfig
+
+VARIANTS = [
+    ("full", {}),
+    ("no-reuse", {"enable_reuse": False}),
+    ("no-edge-filter", {"enable_edge_filter": False}),
+    ("neither", {"enable_reuse": False, "enable_edge_filter": False}),
+]
+
+
+def run_ablation(dataset: str) -> Table:
+    patterns = patterns_for(
+        ["P1", "P2", "P4", "P5", "P6", "P7"], quick=["P1", "P2"]
+    )
+    table = Table(
+        f"Ablation: optimizations on {dataset}",
+        ["pattern"] + [name for name, _ in VARIANTS] + ["worst/full"],
+    )
+    for pname in patterns:
+        times = {}
+        counts = set()
+        for name, over in VARIANTS:
+            r = run_cell(dataset, pname, "tdfs", config=TDFSConfig(**over))
+            times[name] = r.elapsed_ms
+            counts.add(r.count)
+        assert len(counts) == 1, f"{pname}: optimizations changed the count"
+        worst = max(times.values())
+        table.add_row(
+            pname,
+            *[format_ms(times[name]) for name, _ in VARIANTS],
+            f"{worst / times['full']:.2f}x" if times["full"] else "-",
+        )
+    table.add_note("counts identical across variants (optimizations are sound)")
+    return table
+
+
+@pytest.mark.parametrize("dataset", ["dblp", "facebook"])
+def test_ablation_optimizations(benchmark, report, dataset):
+    report(pedantic(benchmark, lambda: run_ablation(dataset)))

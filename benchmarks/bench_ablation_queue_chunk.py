@@ -1,0 +1,73 @@
+"""Ablations: task-queue capacity and initial-chunk size.
+
+Design-choice studies DESIGN.md calls out beyond the paper's main grid:
+
+* **Queue capacity**: the paper sizes ``Q_task`` at 3 M slots (12 MB) and
+  argues the drain-first policy keeps occupancy tiny.  We sweep capacity
+  down to a handful of tasks: correctness must hold (full-queue fallback to
+  in-place execution), peak occupancy should stay far below capacity at the
+  default, and only absurdly small rings should cost measurable time.
+* **Chunk size**: the paper defaults to 8 initial tasks per fetch.  Tiny
+  chunks pay more cursor atomics; huge chunks re-create the imbalance the
+  queue exists to fix.
+"""
+
+import pytest
+from conftest import pedantic
+
+from repro.bench.harness import run_cell
+from repro.bench.reporting import Table, format_ms
+from repro.core.config import TDFSConfig
+
+DATASET = "youtube"
+PATTERN = "P3"
+
+
+def run_queue_sweep() -> Table:
+    table = Table(
+        f"Ablation: queue capacity on {DATASET}/{PATTERN}",
+        ["capacity (tasks)", "time", "peak tasks", "enq failures", "count"],
+    )
+    counts = set()
+    for capacity in [2, 16, 256, 8192]:
+        cfg = TDFSConfig(queue_capacity_tasks=capacity, tau_cycles=2000)
+        r = run_cell(DATASET, PATTERN, "tdfs", config=cfg, num_labels=0)
+        counts.add(r.count)
+        table.add_row(
+            capacity,
+            format_ms(r.elapsed_ms),
+            r.queue.peak_tasks,
+            r.queue.enqueue_failures,
+            r.count,
+        )
+    assert len(counts) == 1, "queue capacity changed the count"
+    table.add_note(
+        "full-queue enqueues fall back to in-place execution (Alg. 4 l.18-20)"
+    )
+    return table
+
+
+def run_chunk_sweep() -> Table:
+    table = Table(
+        f"Ablation: chunk size on {DATASET}/{PATTERN}",
+        ["chunk size", "time", "chunks fetched", "count"],
+    )
+    counts = set()
+    for chunk in [1, 4, 8, 32, 128]:
+        cfg = TDFSConfig(chunk_size=chunk)
+        r = run_cell(DATASET, PATTERN, "tdfs", config=cfg, num_labels=0)
+        counts.add(r.count)
+        table.add_row(
+            chunk, format_ms(r.elapsed_ms), r.chunks_fetched, r.count
+        )
+    assert len(counts) == 1, "chunk size changed the count"
+    table.add_note("paper default: 8 initial tasks per chunk")
+    return table
+
+
+def test_ablation_queue_capacity(benchmark, report):
+    report(pedantic(benchmark, run_queue_sweep))
+
+
+def test_ablation_chunk_size(benchmark, report):
+    report(pedantic(benchmark, run_chunk_sweep))

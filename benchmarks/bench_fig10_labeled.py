@@ -1,0 +1,75 @@
+"""Fig. 10: T-DFS vs STMatch and EGSM on the 4 big labeled graphs.
+
+The paper labels these graphs with 4 random labels; patterns P1–P11 run
+with every query vertex taking the same label, P12–P22 with labels
+``i mod 4``.  PBE is excluded (unlabeled only).
+
+Shape to reproduce: T-DFS wins (paper: ~20× vs STMatch, ~15× vs EGSM);
+STMatch's serial host prefilter is a large share of its total on these
+graphs (up to 58 % on Friendster); EGSM hits OOM on Friendster at |L| = 4.
+"""
+
+import pytest
+from conftest import pedantic
+
+from repro.bench.harness import patterns_for, run_cell, uniform_labeled
+from repro.bench.reporting import Table, format_ms, geo_mean
+from repro.graph.datasets import BIG_DATASETS
+
+ENGINES = ["tdfs", "stmatch", "egsm"]
+UNIFORM = [f"P{i}" for i in range(1, 12)]
+MIXED = [f"P{i}" for i in range(12, 23)]
+
+
+def run_dataset(dataset: str) -> Table:
+    uniform = patterns_for(UNIFORM, quick=["P1", "P3"])
+    mixed = patterns_for(MIXED, quick=["P12", "P14"])
+    from repro.query.patterns import get_pattern
+
+    queries = [uniform_labeled(p) for p in uniform]
+    queries += [get_pattern(p) for p in mixed]
+    table = Table(
+        f"Fig 10: labeled comparison on {dataset} (|L|=4)",
+        ["pattern", "instances", "tdfs", "stmatch", "egsm",
+         "stm host%", "stm/tdfs", "egsm/tdfs"],
+    )
+    slow = {"stmatch": [], "egsm": []}
+    for query in queries:
+        results = {e: run_cell(dataset, query, e) for e in ENGINES}
+        base = results["tdfs"]
+
+        def cell(engine):
+            r = results[engine]
+            if r.failed:
+                return r.error
+            return format_ms(r.elapsed_ms) + ("!" if r.overflowed else "")
+
+        st = results["stmatch"]
+        host_pct = (
+            f"{100 * st.host_preprocess_cycles / st.elapsed_cycles:.0f}%"
+            if not st.failed and st.elapsed_cycles
+            else "-"
+        )
+        row = [query.name, base.count, cell("tdfs"), cell("stmatch"),
+               cell("egsm"), host_pct]
+        for e in ("stmatch", "egsm"):
+            r = results[e]
+            if not r.failed and base.elapsed_ms > 0:
+                ratio = r.elapsed_ms / base.elapsed_ms
+                slow[e].append(ratio)
+                row.append(f"{ratio:.1f}x")
+            else:
+                row.append("-")
+        table.add_row(*row)
+    for e, vals in slow.items():
+        if vals:
+            table.add_note(f"geo-mean slowdown vs T-DFS — {e}: {geo_mean(vals):.1f}x")
+    table.add_note(
+        "P1-P11 run with a uniform label; P12-P22 with label(u_i) = i mod 4"
+    )
+    return table
+
+
+@pytest.mark.parametrize("dataset", BIG_DATASETS)
+def test_fig10(benchmark, report, dataset):
+    report(pedantic(benchmark, lambda: run_dataset(dataset)))

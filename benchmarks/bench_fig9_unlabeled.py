@@ -1,0 +1,64 @@
+"""Fig. 9: T-DFS vs STMatch, EGSM and PBE on the 8 unlabeled graphs.
+
+Paper shape to reproduce: T-DFS wins nearly everywhere; STMatch trails by
+roughly an order of magnitude (host prefilter + locking + extra set ops,
+and *wrong counts* on the skewed graphs, flagged ``!``); EGSM is slowest
+(no symmetry breaking ⇒ ×|Aut| redundancy); PBE is the closest baseline
+(~2× slower on average) and closes the gap further on the graphs with the
+most biased degree distributions.
+
+One test per dataset so pytest-benchmark reports per-graph totals.
+"""
+
+import pytest
+from conftest import pedantic
+
+from repro.bench.harness import patterns_for, run_cell
+from repro.bench.reporting import Table, format_ms, geo_mean
+from repro.graph.datasets import MODERATE_DATASETS
+
+ENGINES = ["tdfs", "stmatch", "egsm", "pbe"]
+FULL = [f"P{i}" for i in range(1, 12)]
+
+
+def run_dataset(dataset: str) -> Table:
+    patterns = patterns_for(FULL, quick=["P1", "P2", "P3"])
+    table = Table(
+        f"Fig 9: unlabeled comparison on {dataset}",
+        ["pattern", "instances", "tdfs", "stmatch", "egsm", "pbe",
+         "stm/tdfs", "egsm/tdfs", "pbe/tdfs"],
+    )
+    speedups = {e: [] for e in ENGINES[1:]}
+    for pname in patterns:
+        results = {e: run_cell(dataset, pname, e) for e in ENGINES}
+        base = results["tdfs"]
+
+        def cell(engine):
+            r = results[engine]
+            if r.failed:
+                return r.error
+            mark = "!" if r.overflowed else ""
+            return format_ms(r.elapsed_ms) + mark
+
+        row = [pname, base.count] + [cell(e) for e in ENGINES]
+        for e in ENGINES[1:]:
+            r = results[e]
+            if not r.failed and base.elapsed_ms > 0:
+                ratio = r.elapsed_ms / base.elapsed_ms
+                speedups[e].append(ratio)
+                row.append(f"{ratio:.1f}x")
+            else:
+                row.append("-")
+        table.add_row(*row)
+    for e in ENGINES[1:]:
+        if speedups[e]:
+            table.add_note(
+                f"geo-mean slowdown vs T-DFS — {e}: {geo_mean(speedups[e]):.1f}x"
+            )
+    table.add_note("'!' marks overflowed fixed stacks: count unreliable (paper IV-G)")
+    return table
+
+
+@pytest.mark.parametrize("dataset", MODERATE_DATASETS)
+def test_fig9(benchmark, report, dataset):
+    report(pedantic(benchmark, lambda: run_dataset(dataset)))

@@ -1,0 +1,14 @@
+"""Table III: ablation of the timeout threshold τ on Pokec.
+
+Same sweep as Table II on the second skewed graph; see
+``bench_table2_tau_youtube.py`` for the scaling rationale and expected
+shape (default near-best everywhere, τ = ∞ much worse on heavy patterns).
+"""
+
+from conftest import pedantic
+
+from bench_table2_tau_youtube import run_tau_sweep
+
+
+def test_table3_tau_pokec(benchmark, report):
+    report(pedantic(benchmark, lambda: run_tau_sweep("pokec")))

@@ -1,0 +1,15 @@
+"""Tables VII & VIII: stack memory and execution time on YouTube, P1–P7.
+
+Same methodology as Tables V & VI (see ``bench_tables5_6_pokec.py``) on the
+second skewed graph; the paper reports ~93 % memory saved here.
+"""
+
+from conftest import pedantic
+
+from bench_tables5_6_pokec import run_memory_and_time
+
+
+def test_tables7_8(benchmark, report):
+    mem, time_tbl = pedantic(benchmark, lambda: run_memory_and_time("youtube"))
+    report(mem)
+    report(time_tbl)

@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one table/figure of the paper.  Tables print
+live (bypassing capture) and are saved as TSV under ``results/`` so
+EXPERIMENTS.md can reference them.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+import pytest
+
+from repro.bench.harness import results_dir
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a Table live and persist it to results/<slug>.tsv."""
+
+    def _report(table):
+        with capsys.disabled():
+            table.show()
+        slug = re.sub(r"[^a-z0-9]+", "-", table.title.lower()).strip("-")
+        table.save_tsv(os.path.join(results_dir(), f"{slug}.tsv"))
+
+    return _report
+
+
+def pedantic(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark's timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

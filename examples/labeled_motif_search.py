@@ -1,0 +1,72 @@
+"""Labeled motif search — typed-graph matching and label selectivity.
+
+Biological and knowledge graphs carry vertex types (labels); subgraph
+matching must respect them.  This example attaches labels to a graph,
+builds typed query patterns, and shows the effect the paper measures in
+Table IV: label selectivity shrinks candidate sets dramatically, and
+engines disagree on how well they exploit it (EGSM's CT-index shines only
+when labels are selective).
+
+Run with::
+
+    python examples/labeled_motif_search.py
+"""
+
+from repro import QueryGraph, match, load_dataset
+from repro.bench.reporting import Table, format_ms
+
+
+def typed_triangle(a: int, b: int, c: int) -> QueryGraph:
+    """A triangle whose corners must carry labels ``a``, ``b``, ``c``."""
+    return QueryGraph(
+        3, [(0, 1), (1, 2), (2, 0)], labels=[a, b, c],
+        name=f"tri-{a}{b}{c}",
+    )
+
+
+def typed_path_square(a: int, b: int) -> QueryGraph:
+    """A 4-cycle alternating between two vertex types."""
+    return QueryGraph(
+        4, [(0, 1), (1, 2), (2, 3), (3, 0)], labels=[a, b, a, b],
+        name=f"square-{a}{b}",
+    )
+
+
+def main() -> None:
+    table = Table(
+        "typed motif search across label granularities",
+        ["|L|", "query", "instances", "tdfs", "egsm", "egsm/tdfs"],
+    )
+    for num_labels in (4, 8, 16):
+        graph = load_dataset("friendster", num_labels=num_labels)
+        for query in (typed_triangle(0, 1, 2), typed_path_square(0, 1)):
+            ours = match(graph, query, engine="tdfs")
+            egsm = match(graph, query, engine="egsm")
+            ratio = (
+                "-"
+                if egsm.failed or ours.elapsed_ms == 0
+                else f"{egsm.elapsed_ms / ours.elapsed_ms:.1f}x"
+            )
+            table.add_row(
+                num_labels,
+                query.name,
+                ours.count,
+                format_ms(ours.elapsed_ms),
+                egsm.error or format_ms(egsm.elapsed_ms),
+                ratio,
+            )
+    table.add_note(
+        "more labels => smaller candidate sets; EGSM's index pays off only "
+        "when selectivity is high (paper Table IV)"
+    )
+    table.show()
+
+    # Typed counts are exact: verify one cell against the CPU reference.
+    graph = load_dataset("friendster", num_labels=4)
+    query = typed_triangle(0, 1, 2)
+    assert match(graph, query, engine="cpu").count == match(graph, query).count
+    print("\nCPU reference agrees with T-DFS on typed triangles.")
+
+
+if __name__ == "__main__":
+    main()

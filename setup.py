@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works in offline environments without the ``wheel``
+module (pip falls back to ``setup.py develop`` when no ``[build-system]``
+table is present).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,21 @@
+"""Dynamic stack-space allocation (paper Section III, Fig. 6).
+
+Prior DFS systems preallocate every stack level at ``d_max`` capacity
+(hundreds of GB for skewed graphs) or hardcode 4096 slots (silently wrong
+results on skewed graphs — STMatch).  T-DFS instead treats each stack level
+as a page table over fixed-size pages served by an Ouroboros-style device
+allocator, growing on demand.
+"""
+
+from repro.alloc.ouroboros import OuroborosAllocator
+from repro.alloc.pagetable import PageTable, PagedLevel
+from repro.alloc.stack import WarpStack, ArrayLevel, OverflowPolicy
+
+__all__ = [
+    "OuroborosAllocator",
+    "PageTable",
+    "PagedLevel",
+    "WarpStack",
+    "ArrayLevel",
+    "OverflowPolicy",
+]

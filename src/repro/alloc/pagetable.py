@@ -1,0 +1,164 @@
+"""Page tables and paged stack levels (paper Fig. 6 and Algorithm 5).
+
+Each stack level is logically a list of pages.  A *page table* is a small
+fixed-size address array (``null``-initialized);
+when a write crosses into a page that does not exist yet, the warp's leader
+thread requests one from the allocator (Algorithm 5's ``__activemask`` /
+leader-election dance — modeled as a per-new-page allocation charge).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import StackOverflowError_
+from repro.alloc.ouroboros import OuroborosAllocator
+from repro.gpusim.costmodel import CostModel, WARP_SIZE
+
+#: Default page-table entries per stack level.  The paper uses 40 addresses
+#: of 8 KB pages (320 KB max per level); scaled with the stand-in datasets
+#: this becomes 24 addresses of 64 B pages (384 vertex ids per level, which
+#: exceeds every stand-in's d_max).
+DEFAULT_PAGE_TABLE_SIZE = 24
+
+#: Sentinel for an unallocated page-table entry.
+NULL_PAGE = -1
+
+
+class PageTable:
+    """Fixed-size address array mapping page index → allocated page id."""
+
+    __slots__ = ("entries", "size")
+
+    def __init__(self, size: int = DEFAULT_PAGE_TABLE_SIZE) -> None:
+        self.size = int(size)
+        self.entries = [NULL_PAGE] * self.size
+
+    def page_at(self, idx: int) -> int:
+        if idx >= self.size:
+            raise StackOverflowError_(
+                f"page table exhausted: index {idx} >= table size {self.size} "
+                "(increase page_table_size, cf. paper's 4000-entry example)"
+            )
+        return self.entries[idx]
+
+    def set_page(self, idx: int, page: int) -> None:
+        if idx >= self.size:
+            raise StackOverflowError_(
+                f"page table exhausted: index {idx} >= table size {self.size}"
+            )
+        self.entries[idx] = page
+
+    def allocated_pages(self) -> list[int]:
+        return [p for p in self.entries if p != NULL_PAGE]
+
+    def num_allocated(self) -> int:
+        return sum(1 for p in self.entries if p != NULL_PAGE)
+
+
+class PagedLevel:
+    """One stack level stored as a page table over allocator pages.
+
+    Data lives in a NumPy array for simulation speed; the page table tracks
+    which pages back which index ranges, so memory accounting and the
+    Algorithm 5 access-cost model (page-existence check per batch, leader
+    allocation for new pages) are faithful.
+
+    By default pages are *not* released on overwrite, matching the paper
+    ("we find this to be not necessary in our experiments"); a level keeps
+    its high-watermark pages for the rest of the job.  The paper's optional
+    release rule is available via ``release_pages=True``: "assume we have n
+    pages in a stack level ... if it uses no more than n/4 pages, then we
+    can free the last n/2 pages".
+    """
+
+    __slots__ = ("table", "allocator", "data", "length", "raw", "release_pages")
+
+    def __init__(
+        self,
+        allocator: OuroborosAllocator,
+        table_size: int = DEFAULT_PAGE_TABLE_SIZE,
+        release_pages: bool = False,
+    ) -> None:
+        self.table = PageTable(table_size)
+        self.allocator = allocator
+        self.data: np.ndarray = np.empty(0, dtype=np.int32)
+        self.length = 0
+        self.raw: np.ndarray = self.data  # raw intersection kept for reuse
+        self.release_pages = bool(release_pages)
+
+    # ------------------------------------------------------------------ #
+
+    def write(self, values: np.ndarray, cost: CostModel) -> int:
+        """Replace the level contents; returns the cycle charge.
+
+        Models Algorithm 5: the warp writes in 32-element batches, each
+        paying a page-table lookup/existence check; crossing into a missing
+        page triggers a leader-thread allocation.
+        """
+        n = int(values.size)
+        cycles = self._ensure_pages(n, cost)
+        batches = (max(n, 1) + WARP_SIZE - 1) // WARP_SIZE
+        cycles += batches * (cost.write_batch + cost.page_check)
+        self.data = values
+        self.raw = values
+        self.length = n
+        if self.release_pages:
+            cycles += self._maybe_release(n)
+        return cycles
+
+    def _maybe_release(self, n_elements: int) -> int:
+        """Paper's optional rule: using <= n/4 of n held pages frees n/2."""
+        held = self.table.num_allocated()
+        page_ints = self.allocator.page_ints
+        used = (n_elements + page_ints - 1) // page_ints
+        if held < 4 or used > held // 4:
+            return 0
+        to_free = held // 2
+        freed = 0
+        for idx in range(self.table.size - 1, -1, -1):
+            if freed == to_free:
+                break
+            page = self.table.page_at(idx)
+            if page != NULL_PAGE and idx >= used:
+                self.allocator.free_page(page)
+                self.table.set_page(idx, NULL_PAGE)
+                freed += 1
+        return freed * 40  # free-list push per page
+
+    def read_cost(self, n: int, cost: CostModel) -> int:
+        """Charge for reading ``n`` elements through the page table."""
+        batches = (max(n, 1) + WARP_SIZE - 1) // WARP_SIZE
+        return batches * (cost.load_batch + cost.page_check)
+
+    def _ensure_pages(self, n_elements: int, cost: CostModel) -> int:
+        """Allocate pages to hold ``n_elements``; returns alloc charges."""
+        page_ints = self.allocator.page_ints
+        needed = (n_elements + page_ints - 1) // page_ints
+        cycles = 0
+        for idx in range(needed):
+            if self.table.page_at(idx) == NULL_PAGE:
+                self.table.set_page(idx, self.allocator.malloc_page())
+                cycles += cost.page_alloc
+        return cycles
+
+    # ------------------------------------------------------------------ #
+
+    def values(self) -> np.ndarray:
+        """Current level contents."""
+        return self.data[: self.length]
+
+    def memory_bytes(self) -> int:
+        """Bytes held: allocated pages plus the page-table address array."""
+        return (
+            self.table.num_allocated() * self.allocator.page_bytes
+            + self.table.size * 4  # 32-bit page ids at simulation scale
+        )
+
+    def release_all(self) -> None:
+        """Return all pages to the allocator (job teardown)."""
+        for idx in range(self.table.size):
+            page = self.table.page_at(idx)
+            if page != NULL_PAGE:
+                self.allocator.free_page(page)
+                self.table.set_page(idx, NULL_PAGE)

@@ -1,0 +1,25 @@
+"""Baseline engines the paper compares against.
+
+All baselines are re-implemented inside this repository on the same virtual
+GPU substrate, following the methodology the paper itself uses for Fig. 11
+(Half Steal and New Kernel were re-implemented inside the T-DFS framework):
+
+* :class:`~repro.baselines.cpu.CPUEngine` — serial recursive Ullmann
+  backtracking; the ground truth every GPU engine is validated against.
+* :class:`~repro.baselines.stmatch.STMatchEngine` — DFS with half-stealing,
+  hardcoded fixed-capacity stack levels (silently wrong on skewed graphs),
+  serial host-side edge prefiltering, and a separate set-difference pass
+  for matched-vertex removal.
+* :class:`~repro.baselines.egsm.EGSMEngine` — DFS with new-kernel load
+  balancing, a Cuckoo-trie candidate index (3-level lookups, OOM-prone on
+  low-label big graphs), and *no* automorphism-based symmetry breaking.
+* :class:`~repro.baselines.pbe.PBEEngine` — BFS with pipelined/partitioned
+  memory management; unlabeled queries only.
+"""
+
+from repro.baselines.cpu import CPUEngine, cpu_count
+from repro.baselines.stmatch import STMatchEngine
+from repro.baselines.egsm import EGSMEngine
+from repro.baselines.pbe import PBEEngine
+
+__all__ = ["CPUEngine", "cpu_count", "STMatchEngine", "EGSMEngine", "PBEEngine"]

@@ -1,0 +1,18 @@
+"""Benchmark harness: experiment grids, ASCII tables, paper-shape checks.
+
+Each file under ``benchmarks/`` regenerates one table or figure of the
+paper using this harness; results print as the same rows/series the paper
+reports, and are also appended to ``results/`` as TSV for EXPERIMENTS.md.
+"""
+
+from repro.bench.harness import ExperimentGrid, run_cell, quick_mode
+from repro.bench.reporting import Table, format_ms, speedup
+
+__all__ = [
+    "ExperimentGrid",
+    "run_cell",
+    "quick_mode",
+    "Table",
+    "format_ms",
+    "speedup",
+]

@@ -1,0 +1,118 @@
+"""Experiment execution helpers shared by all benchmark files.
+
+``run_cell`` executes one (dataset, pattern, engine) cell with the dataset's
+recommended device budget, catching the failure modes the paper reports as
+table entries (``OOM``, ``ERR``) instead of crashing the whole grid.
+
+Set ``REPRO_BENCH_QUICK=1`` to run reduced pattern grids (the cheap subset
+of each experiment) — useful for smoke-testing the harness.  The full grids
+are the default and regenerate the complete tables.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.config import TDFSConfig
+from repro.core.engine import match
+from repro.core.result import MatchResult
+from repro.errors import ReproError, UnsupportedError
+from repro.graph.datasets import DATASETS, load_dataset
+from repro.query.patterns import get_pattern
+from repro.query.pattern import QueryGraph
+
+
+def quick_mode() -> bool:
+    """True when REPRO_BENCH_QUICK requests the reduced grids."""
+    return os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+
+def patterns_for(full: list[str], quick: Optional[list[str]] = None) -> list[str]:
+    """Pick the full or quick pattern list based on the environment."""
+    if quick_mode():
+        return quick or full[:3]
+    return full
+
+
+def uniform_labeled(pattern_name: str, label: int = 0) -> QueryGraph:
+    """P1–P11 variant where every query vertex takes the same label.
+
+    This is how the paper runs P1–P11 against the labeled big graphs
+    ("we let all the query vertices in P1–P11 take the same label").
+    """
+    base = get_pattern(pattern_name)
+    return base.with_labels([label] * base.num_vertices, name=pattern_name)
+
+
+def run_cell(
+    dataset: str,
+    pattern,
+    engine: str,
+    config: Optional[TDFSConfig] = None,
+    num_labels: Optional[int] = None,
+) -> MatchResult:
+    """Run one experiment cell; failures become result markers, not crashes."""
+    graph = load_dataset(dataset, num_labels=num_labels)
+    spec = DATASETS[dataset]
+    cfg = config or TDFSConfig()
+    if cfg.device_memory is None:
+        cfg = cfg.replace(device_memory=spec.device_memory)
+    if isinstance(pattern, str):
+        pattern = get_pattern(pattern)
+    try:
+        return match(graph, pattern, engine=engine, config=cfg)
+    except UnsupportedError:
+        result = MatchResult(
+            engine=engine,
+            graph_name=graph.name,
+            query_name=pattern.name,
+            count=0,
+            elapsed_cycles=0,
+        )
+        result.error = "N/A"
+        return result
+    except ReproError as exc:
+        result = MatchResult(
+            engine=engine,
+            graph_name=graph.name,
+            query_name=pattern.name,
+            count=0,
+            elapsed_cycles=0,
+        )
+        result.error = f"ERR ({type(exc).__name__})"
+        return result
+
+
+@dataclass
+class ExperimentGrid:
+    """A (datasets × patterns × engines) sweep with result collection."""
+
+    datasets: list[str]
+    patterns: list
+    engines: list[str]
+    config: Optional[TDFSConfig] = None
+    num_labels: Optional[int] = None
+
+    def run(self) -> dict[tuple[str, str, str], MatchResult]:
+        results: dict[tuple[str, str, str], MatchResult] = {}
+        for dataset in self.datasets:
+            for pattern in self.patterns:
+                pname = pattern if isinstance(pattern, str) else pattern.name
+                for engine in self.engines:
+                    results[(dataset, pname, engine)] = run_cell(
+                        dataset,
+                        pattern,
+                        engine,
+                        config=self.config,
+                        num_labels=self.num_labels,
+                    )
+        return results
+
+
+def results_dir() -> str:
+    """Directory where benchmark TSV outputs are collected."""
+    path = os.environ.get("REPRO_RESULTS_DIR", "results")
+    os.makedirs(path, exist_ok=True)
+    return path

@@ -1,0 +1,89 @@
+"""ASCII tables and formatting helpers for the benchmark reports."""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Optional
+
+
+def format_ms(value: Optional[float]) -> str:
+    """Render a virtual-millisecond value like the paper's tables do."""
+    if value is None:
+        return "-"
+    if value >= 1000:
+        return f"{value / 1000:.2f}s"
+    if value >= 10:
+        return f"{value:.0f}ms"
+    if value >= 1:
+        return f"{value:.2f}ms"
+    return f"{value * 1000:.0f}us"
+
+
+def speedup(base: float, other: float) -> str:
+    """``other / base`` rendered as ``N.Nx`` (how much slower other is)."""
+    if base <= 0:
+        return "-"
+    return f"{other / base:.1f}x"
+
+
+class Table:
+    """A printable results table that also serializes to TSV."""
+
+    def __init__(self, title: str, columns: list[str]) -> None:
+        self.title = title
+        self.columns = columns
+        self.rows: list[list[str]] = []
+        self.notes: list[str] = []
+
+    def add_row(self, *cells) -> None:
+        row = [str(c) for c in cells]
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} cells for {len(self.columns)} columns"
+            )
+        self.rows.append(row)
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [f"== {self.title} =="]
+        header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(self.columns))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append(
+                "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+            )
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print()
+        print(self.render())
+
+    def save_tsv(self, path: str | os.PathLike) -> None:
+        os.makedirs(os.path.dirname(os.fspath(path)) or ".", exist_ok=True)
+        with open(path, "w") as f:
+            f.write(f"# {self.title}\n")
+            f.write("\t".join(self.columns) + "\n")
+            for row in self.rows:
+                f.write("\t".join(row) + "\n")
+            for note in self.notes:
+                f.write(f"# note: {note}\n")
+
+
+def geo_mean(values: Iterable[float]) -> float:
+    """Geometric mean (used for 'average speedup' summaries)."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    product = 1.0
+    for v in vals:
+        product *= v
+    return product ** (1.0 / len(vals))

@@ -1,0 +1,155 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``datasets``
+    List the registered dataset stand-ins with their statistics.
+``patterns``
+    List the evaluation patterns P1–P22 with structure descriptions.
+``plan PATTERN``
+    Show the compiled matching plan for a pattern.
+``run``
+    Run one subgraph-matching job and print the result, e.g.::
+
+        python -m repro run --dataset youtube --pattern P3
+        python -m repro run --dataset pokec --pattern P1 --engine stmatch
+        python -m repro run --dataset friendster --pattern P9 --labels 8 \\
+            --engine egsm --gpus 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.config import StackMode, Strategy, TDFSConfig
+from repro.core.engine import match
+from repro.errors import ReproError
+from repro.graph.analysis import compute_stats
+from repro.graph.datasets import DATASETS, load_dataset
+from repro.query.patterns import get_pattern, pattern_description, pattern_names
+from repro.query.plan import compile_plan
+
+
+def _cmd_datasets(_args: argparse.Namespace) -> int:
+    header = f"{'name':<12} {'cat':<9} {'|V|':>7} {'|E|':>8} {'avg':>5} {'d_max':>6} {'|L|':>4}"
+    print(header)
+    print("-" * len(header))
+    for name, spec in DATASETS.items():
+        stats = compute_stats(load_dataset(name))
+        print(
+            f"{name:<12} {spec.category:<9} {stats.num_vertices:>7} "
+            f"{stats.num_edges:>8} {stats.avg_degree:>5.1f} "
+            f"{stats.max_degree:>6} {stats.num_labels:>4}"
+        )
+    return 0
+
+
+def _cmd_patterns(_args: argparse.Namespace) -> int:
+    for name in pattern_names():
+        q = get_pattern(name)
+        lab = " labeled" if q.is_labeled else ""
+        print(f"{name:<5} k={q.num_vertices} m={q.num_edges}{lab}  "
+              f"{pattern_description(name)}")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    plan = compile_plan(get_pattern(args.pattern))
+    print(plan.describe())
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = TDFSConfig(
+        num_warps=args.warps,
+        chunk_size=args.chunk_size,
+        strategy=Strategy(args.strategy),
+        stack_mode=StackMode(args.stack_mode),
+        num_gpus=args.gpus,
+        enable_reuse=not args.no_reuse,
+        enable_edge_filter=not args.no_edge_filter,
+    )
+    if args.tau_us is not None:
+        config = config.replace(tau_cycles=max(1, int(args.tau_us * 1000)))
+    # Use the dataset's simulated device budget, like the benchmarks do.
+    config = config.replace(device_memory=DATASETS[args.dataset].device_memory)
+    num_labels: Optional[int] = args.labels
+    graph = load_dataset(args.dataset, num_labels=num_labels)
+    result = match(graph, args.pattern, engine=args.engine, config=config)
+    print(result.summary())
+    if args.verbose and not result.failed:
+        print(f"  embeddings        : {result.count_embeddings}")
+        print(f"  busy/idle cycles  : {result.busy_cycles}/{result.idle_cycles}")
+        print(f"  timeouts/steals   : {result.timeouts}/{result.steals}")
+        print(f"  queue enq/deq     : {result.queue.enqueued}/{result.queue.dequeued}")
+        print(f"  stack bytes       : {result.memory.stack_bytes}")
+        print(f"  device peak bytes : {result.memory.device_peak_bytes}")
+    return 1 if result.failed else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="T-DFS subgraph matching (ICDE 2024 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list dataset stand-ins").set_defaults(
+        func=_cmd_datasets
+    )
+    sub.add_parser("patterns", help="list query patterns").set_defaults(
+        func=_cmd_patterns
+    )
+
+    plan_p = sub.add_parser("plan", help="show a compiled matching plan")
+    plan_p.add_argument("pattern", help="pattern name, e.g. P4")
+    plan_p.set_defaults(func=_cmd_plan)
+
+    run_p = sub.add_parser("run", help="run one matching job")
+    run_p.add_argument("--dataset", required=True, choices=list(DATASETS))
+    run_p.add_argument("--pattern", required=True)
+    run_p.add_argument(
+        "--engine",
+        default="tdfs",
+        choices=["tdfs", "stmatch", "egsm", "pbe", "cpu", "hybrid"],
+    )
+    run_p.add_argument("--labels", type=int, default=None,
+                       help="override label count (0 = unlabeled)")
+    run_p.add_argument("--gpus", type=int, default=1)
+    run_p.add_argument("--warps", type=int, default=64)
+    run_p.add_argument("--chunk-size", type=int, default=8)
+    run_p.add_argument("--tau-us", type=float, default=None,
+                       help="timeout threshold in virtual microseconds")
+    run_p.add_argument(
+        "--strategy", default="timeout",
+        choices=[s.value for s in Strategy],
+    )
+    run_p.add_argument(
+        "--stack-mode", default="paged",
+        choices=[m.value for m in StackMode],
+    )
+    run_p.add_argument("--no-reuse", action="store_true")
+    run_p.add_argument("--no-edge-filter", action="store_true")
+    run_p.add_argument("-v", "--verbose", action="store_true")
+    run_p.set_defaults(func=_cmd_run)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:  # e.g. `repro datasets | head`
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

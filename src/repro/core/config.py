@@ -1,0 +1,141 @@
+"""Engine configuration.
+
+Defaults follow the paper: chunk size 8, timeout τ = 10 ms (scaled to the
+stand-in datasets — see ``DEFAULT_TAU_CYCLES``), paged stacks, timeout-based
+stealing, queue capacity a small fraction of device memory.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.errors import ReproError
+from repro.gpusim.costmodel import CostModel, CYCLES_PER_MS, DEFAULT_COST_MODEL
+from repro.gpusim.device import DEFAULT_NUM_WARPS
+
+
+class Strategy(enum.Enum):
+    """Load-balancing strategy (paper Fig. 11 compares all four)."""
+
+    TIMEOUT = "timeout"  # T-DFS: timeout decomposition + lock-free queue
+    HALF_STEAL = "half-steal"  # STMatch: idle warps lock + steal half a level
+    NEW_KERNEL = "new-kernel"  # EGSM: child kernels for large fanouts
+    NONE = "none"  # no stealing at all
+
+
+class StackMode(enum.Enum):
+    """Stack storage variant (paper Tables V–VIII compare these)."""
+
+    PAGED = "paged"  # T-DFS dynamic page tables
+    ARRAY_DMAX = "array-dmax"  # correct but wasteful: capacity = d_max
+    ARRAY_FIXED = "array-fixed"  # STMatch default: hardcoded capacity
+
+
+#: Paper default τ is 10 ms on billion-edge graphs.  The stand-ins are
+#: ~10³–10⁵× smaller, so the simulated default scales to 10 µs of virtual
+#: time; the τ-ablation benches sweep the same ×10 grid around it.
+DEFAULT_TAU_CYCLES = 10_000
+
+#: STMatch's hardcoded per-level capacity (vertex ids).  The paper notes
+#: this loses correctness on skewed graphs; scaled here with the datasets.
+STMATCH_FIXED_CAPACITY = 96
+
+
+@dataclass(frozen=True)
+class TDFSConfig:
+    """Tunable parameters of a T-DFS run.
+
+    Attributes mirror the knobs the paper exposes; everything has a sane
+    default so ``TDFSEngine()`` works out of the box.
+    """
+
+    num_warps: int = DEFAULT_NUM_WARPS
+    chunk_size: int = 8
+    """Initial tasks (edges) fetched per idle warp (paper default: 8)."""
+
+    strategy: Strategy = Strategy.TIMEOUT
+    tau_cycles: int = DEFAULT_TAU_CYCLES
+    """Timeout threshold τ in virtual cycles; ``None``/inf semantics use
+    :meth:`no_timeout`."""
+
+    queue_capacity_tasks: int = 8_192
+    """Capacity of ``Q_task`` in tasks (each task = 3 int slots)."""
+
+    stack_mode: StackMode = StackMode.PAGED
+    page_bytes: int = 64
+    page_table_size: int = 24
+    arena_pages: int = 65_536
+    release_pages: bool = False
+    """Enable the paper's optional page-release rule (Section III: free the
+    last n/2 pages of a level when a refill uses no more than n/4)."""
+    fixed_capacity: int = STMATCH_FIXED_CAPACITY
+    """Per-level capacity for :attr:`StackMode.ARRAY_FIXED`."""
+    truncate_on_overflow: bool = True
+    """ARRAY_FIXED overflow policy: truncate silently (STMatch behaviour,
+    wrong counts) instead of raising."""
+
+    enable_symmetry: bool = True
+    enable_reuse: bool = True
+    enable_edge_filter: bool = True
+    """Degree-based pruning of initial edges (label/symmetry checks are
+    correctness-critical and always applied)."""
+
+    stmatch_removal: bool = False
+    """Model STMatch's separate set-difference pass for matched-vertex
+    removal (extra set operation per extension; paper Section IV-B)."""
+
+    new_kernel_fanout: int = 96
+    """Fanout threshold that triggers a child kernel (NEW_KERNEL only)."""
+
+    device_memory: Optional[int] = None
+    """Device memory budget in bytes; ``None`` = dataset default."""
+
+    trace: bool = False
+    """Record a per-warp execution timeline (see repro.gpusim.trace);
+    costs Python time, off by default."""
+
+    num_gpus: int = 1
+    cost: CostModel = field(default_factory=lambda: DEFAULT_COST_MODEL)
+    max_events: int = 50_000_000
+
+    # ------------------------------------------------------------------ #
+
+    def __post_init__(self) -> None:
+        if self.num_warps < 1:
+            raise ReproError("num_warps must be >= 1")
+        if self.chunk_size < 1:
+            raise ReproError("chunk_size must be >= 1")
+        if self.queue_capacity_tasks < 1:
+            raise ReproError("queue capacity must be >= 1 task")
+        if self.num_gpus < 1:
+            raise ReproError("num_gpus must be >= 1")
+        if self.tau_cycles <= 0:
+            raise ReproError("tau_cycles must be positive; use no_timeout()")
+
+    @property
+    def tau_ms(self) -> float:
+        """τ in simulated milliseconds."""
+        return self.tau_cycles / CYCLES_PER_MS
+
+    def with_tau_ms(self, tau_ms: float) -> "TDFSConfig":
+        """Copy with τ given in simulated milliseconds (∞ ⇒ no stealing)."""
+        if math.isinf(tau_ms):
+            return self.no_timeout()
+        return replace(self, tau_cycles=max(1, int(tau_ms * CYCLES_PER_MS)))
+
+    def no_timeout(self) -> "TDFSConfig":
+        """Copy with the timeout disabled (τ = ∞ ⇒ Strategy.NONE)."""
+        return replace(self, strategy=Strategy.NONE)
+
+    def with_strategy(self, strategy: Strategy) -> "TDFSConfig":
+        return replace(self, strategy=strategy)
+
+    def with_stack_mode(self, mode: StackMode) -> "TDFSConfig":
+        return replace(self, stack_mode=mode)
+
+    def replace(self, **kwargs) -> "TDFSConfig":
+        """General-purpose copy-with-overrides."""
+        return replace(self, **kwargs)

@@ -1,0 +1,344 @@
+"""The T-DFS engine: one kernel call per subgraph-matching job (Fig. 3).
+
+``TDFSEngine.run`` compiles (or accepts) a matching plan, uploads the graph
+to the simulated device, allocates the Ouroboros arena / array stacks and
+``Q_task``, launches the resident warps, and turns the virtual-GPU run into
+a :class:`~repro.core.result.MatchResult`.
+
+The module-level :func:`match` is the one-call public entry point used by
+the examples and benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.alloc.ouroboros import OuroborosAllocator
+from repro.alloc.stack import (
+    OverflowPolicy,
+    array_level_factory,
+    paged_level_factory,
+)
+from repro.core.config import StackMode, Strategy, TDFSConfig
+from repro.core.edge_filter import host_prefilter
+from repro.core.result import MatchResult, QueueStats
+from repro.core.warp_matcher import MatchJob
+from repro.errors import (
+    DeviceError,
+    DeviceOOMError,
+    StackOverflowError_,
+    UnsupportedError,
+)
+from repro.gpusim.device import VirtualGPU
+from repro.graph.csr import CSRGraph
+from repro.graph.datasets import DEFAULT_DEVICE_MEMORY
+from repro.query.pattern import QueryGraph
+from repro.query.plan import MatchingPlan, compile_plan
+from repro.taskqueue.ring import LockFreeTaskQueue
+
+
+class TDFSEngine:
+    """Depth-first GPU subgraph matching with timeout load balancing."""
+
+    name = "tdfs"
+    #: Whether this engine filters initial edges on the host, serially
+    #: (STMatch does; T-DFS filters on the device, in parallel).
+    host_filter = False
+
+    def __init__(self, config: Optional[TDFSConfig] = None) -> None:
+        self.config = config or TDFSConfig()
+
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        graph: CSRGraph,
+        query: Union[QueryGraph, MatchingPlan],
+        collect_matches: int = 0,
+    ) -> MatchResult:
+        """Match ``query`` against ``graph``; returns a :class:`MatchResult`.
+
+        ``collect_matches > 0`` additionally enumerates up to that many
+        full embeddings into ``result.matches`` (tuples of data vertices
+        indexed by query vertex id).
+        """
+        plan = self._resolve_plan(query)
+        if plan.is_labeled and not graph.is_labeled:
+            raise UnsupportedError(
+                "labeled query on an unlabeled data graph; attach labels first"
+            )
+        if self.config.num_gpus > 1:
+            from repro.core.multi_gpu import run_multi_gpu
+
+            return run_multi_gpu(
+                graph, plan, self, self.config.num_gpus, collect_matches
+            )
+        edges = graph.directed_edge_array()
+        return self._run_single(
+            graph, plan, edges, gpu_name="gpu0", collect_matches=collect_matches
+        )
+
+    def _resolve_plan(self, query: Union[QueryGraph, MatchingPlan]) -> MatchingPlan:
+        if isinstance(query, MatchingPlan):
+            return query
+        return compile_plan(
+            query,
+            enable_symmetry=self.config.enable_symmetry,
+            enable_reuse=self.config.enable_reuse,
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def _run_single(
+        self,
+        graph: CSRGraph,
+        plan: MatchingPlan,
+        edges: np.ndarray,
+        gpu_name: str,
+        collect_matches: int = 0,
+    ) -> MatchResult:
+        """Run one device's share of the job (all of it when 1 GPU)."""
+        cfg = self.config
+        budget = cfg.device_memory or DEFAULT_DEVICE_MEMORY
+        gpu = VirtualGPU(
+            num_warps=cfg.num_warps,
+            memory_bytes=budget,
+            cost=cfg.cost,
+            name=gpu_name,
+            trace=cfg.trace,
+        )
+        result = MatchResult(
+            engine=self.name,
+            graph_name=graph.name,
+            query_name=plan.query.name,
+            count=0,
+            elapsed_cycles=0,
+            aut_size=plan.aut_size,
+            symmetry_enabled=plan.symmetry_enabled,
+        )
+        try:
+            gpu.memory.allocate(graph.memory_bytes(), tag="csr-graph")
+            result.memory.graph_bytes = graph.memory_bytes()
+            self._execute(gpu, graph, plan, edges, result, collect_matches)
+        except DeviceOOMError as exc:
+            result.error = "OOM"
+            result.count = 0
+            result.elapsed_cycles = gpu.scheduler.now
+            result.memory.device_peak_bytes = gpu.memory.peak
+            _ = exc
+        except StackOverflowError_:
+            result.error = "STACK_OVERFLOW"
+            result.elapsed_cycles = gpu.scheduler.now
+        except DeviceError as exc:
+            result.error = f"ERR ({exc})"
+            result.elapsed_cycles = gpu.scheduler.now
+        return result
+
+    def _pre_kernel(
+        self,
+        gpu: VirtualGPU,
+        graph: CSRGraph,
+        plan: MatchingPlan,
+        result: MatchResult,
+    ) -> tuple[int, dict]:
+        """Hook: device-side preprocessing before the kernel launches.
+
+        Returns ``(device_cycles, job_kwargs)``; EGSM overrides this to
+        build its CT-index (and possibly OOM).
+        """
+        return 0, {}
+
+    def _make_job(self, **kwargs) -> MatchJob:
+        """Hook: construct the warp job (EGSM substitutes its own)."""
+        return MatchJob(**kwargs)
+
+    def _initial_work(
+        self,
+        gpu: VirtualGPU,
+        graph: CSRGraph,
+        plan: MatchingPlan,
+        edges: np.ndarray,
+        result: MatchResult,
+    ) -> tuple[np.ndarray, int, int]:
+        """Hook: produce the initial work rows for the DFS warps.
+
+        Returns ``(rows, prefix_width, device_cycles)``.  The default is the
+        paper's pipeline — one row per directed edge, width 2, no extra
+        cost.  The hybrid engine overrides this with a BFS phase that
+        returns deeper prefixes.
+        """
+        return edges, 2, 0
+
+    def _execute(
+        self,
+        gpu: VirtualGPU,
+        graph: CSRGraph,
+        plan: MatchingPlan,
+        edges: np.ndarray,
+        result: MatchResult,
+        collect_matches: int = 0,
+    ) -> None:
+        cfg = self.config
+        host_cycles = 0
+        prefiltered = False
+        if self.host_filter:
+            # STMatch-style serial host preprocessing before kernel launch.
+            edges, host_cycles = host_prefilter(
+                graph, plan, cfg.cost, prune_degree=cfg.enable_edge_filter
+            )
+            prefiltered = True
+        result.host_preprocess_cycles = host_cycles
+        pre_cycles, job_extra = self._pre_kernel(gpu, graph, plan, result)
+        edges, prefix_width, phase_cycles = self._initial_work(
+            gpu, graph, plan, edges, result
+        )
+        start_time = host_cycles + pre_cycles + phase_cycles
+
+        queue: Optional[LockFreeTaskQueue] = None
+        if cfg.strategy is Strategy.TIMEOUT:
+            queue = LockFreeTaskQueue(
+                capacity_ints=cfg.queue_capacity_tasks * 3, cost=cfg.cost
+            )
+            gpu.memory.allocate(queue.memory_bytes(), tag="task-queue")
+            result.memory.queue_bytes = queue.memory_bytes()
+
+        allocator: Optional[OuroborosAllocator] = None
+        child_stack_bytes = 0
+        levels = max(plan.num_levels - 2, 1)
+        if cfg.stack_mode is StackMode.PAGED:
+            # Size the arena to the configured page count, but never beyond
+            # 85 % of what is left on the device (the rest is working room).
+            max_pages = max(64, int(gpu.memory.free * 0.85) // cfg.page_bytes)
+            pages = min(cfg.arena_pages, max_pages)
+            allocator = OuroborosAllocator(
+                num_pages=pages, page_bytes=cfg.page_bytes, memory=gpu.memory
+            )
+            factory = paged_level_factory(
+                allocator, cfg.page_table_size, cfg.release_pages
+            )
+            result.memory.arena_bytes = allocator.arena_bytes()
+            child_stack_bytes = 0  # children draw from the shared arena
+        elif cfg.stack_mode is StackMode.ARRAY_DMAX:
+            capacity = max(graph.max_degree, 1)
+            per_warp = levels * capacity * 4
+            gpu.memory.allocate(per_warp * cfg.num_warps, tag="array-stacks")
+            factory = array_level_factory(capacity, OverflowPolicy.RAISE)
+            child_stack_bytes = per_warp
+        else:  # ARRAY_FIXED (STMatch default)
+            capacity = cfg.fixed_capacity
+            policy = (
+                OverflowPolicy.TRUNCATE
+                if cfg.truncate_on_overflow
+                else OverflowPolicy.RAISE
+            )
+            per_warp = levels * capacity * 4
+            gpu.memory.allocate(per_warp * cfg.num_warps, tag="array-stacks")
+            factory = array_level_factory(capacity, policy)
+            child_stack_bytes = per_warp
+
+        job = self._make_job(
+            graph=graph,
+            plan=plan,
+            config=cfg,
+            gpu=gpu,
+            edges=edges,
+            queue=queue,
+            level_factory=factory,
+            prefiltered=prefiltered,
+            child_stack_bytes=child_stack_bytes,
+            prefix_width=prefix_width,
+            collect_limit=collect_matches,
+            **job_extra,
+        )
+        gpu.note_work_done(start_time)
+        gpu.launch(job.warp_body, at=start_time)
+        gpu.scheduler.run(max_events=cfg.max_events)
+
+        # ----- fold the run into the result ----------------------------- #
+        result.count = job.count
+        if collect_matches:
+            # Re-index from order positions to query vertex ids.
+            order = plan.order
+            k = plan.num_levels
+            result.matches = [
+                tuple(m[plan.position_of(u)] for u in range(k))
+                for m in job.collected
+            ]
+        result.elapsed_cycles = gpu.finish_time
+        result.num_gpus = 1
+        result.overflowed = job.overflowed()
+        agg = gpu.total_stats()
+        result.busy_cycles = agg.busy_cycles
+        result.idle_cycles = agg.idle_cycles
+        result.timeouts = agg.timeouts
+        result.steals = agg.steals
+        result.chunks_fetched = agg.chunks
+        result.kernel_launches = gpu.kernel_launches
+        result.load_imbalance = gpu.load_imbalance()
+        result.matches_per_warp_max = max(
+            (w.stats.matches for w in gpu.warps), default=0
+        )
+        if queue is not None:
+            result.queue = QueueStats(
+                enqueued=queue.enqueued,
+                dequeued=queue.dequeued,
+                enqueue_failures=queue.enqueue_failures,
+                dequeue_failures=queue.dequeue_failures,
+                peak_tasks=queue.peak_tasks,
+            )
+        result.trace = gpu.trace
+        mem = result.memory
+        mem.stack_bytes = job.stack_bytes()
+        mem.device_peak_bytes = gpu.memory.peak
+        if allocator is not None:
+            mem.pages_allocated = allocator.peak_in_use
+
+
+def match(
+    graph: CSRGraph,
+    query: Union[QueryGraph, MatchingPlan, str],
+    engine: str = "tdfs",
+    config: Optional[TDFSConfig] = None,
+) -> MatchResult:
+    """One-call subgraph matching.
+
+    ``query`` may be a :class:`QueryGraph`, a precompiled plan, or a pattern
+    name like ``"P4"``.  ``engine`` selects the system: ``"tdfs"`` (this
+    paper), ``"stmatch"``, ``"egsm"``, ``"pbe"`` or ``"cpu"`` (serial
+    reference).
+
+    >>> from repro.graph import from_edges
+    >>> g = from_edges([(0, 1), (1, 2), (2, 0), (2, 3), (3, 0)])
+    >>> match(g, "P1").count   # diamonds in the 4-cycle-with-chord
+    1
+    """
+    if isinstance(query, str):
+        from repro.query.patterns import get_pattern
+
+        query = get_pattern(query)
+    engines = _engine_registry()
+    if engine not in engines:
+        raise UnsupportedError(
+            f"unknown engine {engine!r}; available: {', '.join(engines)}"
+        )
+    return engines[engine](config).run(graph, query)
+
+
+def _engine_registry():
+    """Engine name → constructor map (lazy imports avoid cycles)."""
+    from repro.baselines.cpu import CPUEngine
+    from repro.baselines.egsm import EGSMEngine
+    from repro.baselines.pbe import PBEEngine
+    from repro.baselines.stmatch import STMatchEngine
+    from repro.core.hybrid import HybridEngine
+
+    return {
+        "tdfs": lambda cfg: TDFSEngine(cfg),
+        "stmatch": lambda cfg: STMatchEngine(cfg),
+        "egsm": lambda cfg: EGSMEngine(cfg),
+        "pbe": lambda cfg: PBEEngine(cfg),
+        "cpu": lambda cfg: CPUEngine(cfg),
+        "hybrid": lambda cfg: HybridEngine(cfg),
+    }

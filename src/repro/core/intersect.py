@@ -1,0 +1,55 @@
+"""Warp-level sorted-set intersection with cost accounting.
+
+The GPU idiom (paper Section II): threads of a warp stream elements of the
+smaller list ``A`` in 32-element coalesced batches; each lane binary-searches
+its element in ``B``; survivors are compacted by a warp ballot scan into the
+output.  Here NumPy does the actual work and the
+:class:`~repro.gpusim.costmodel.CostModel` charges what the warp would pay.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.gpusim.costmodel import CostModel
+
+
+def intersect_sorted(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Intersection of two sorted unique int arrays (ids preserved sorted)."""
+    if a.size == 0 or b.size == 0:
+        return np.empty(0, dtype=np.int32)
+    if a.size > b.size:
+        a, b = b, a
+    pos = np.searchsorted(b, a)
+    pos[pos == b.size] = b.size - 1
+    mask = b[pos] == a
+    return a[mask].astype(np.int32, copy=False)
+
+
+def intersect_many(
+    lists: Sequence[np.ndarray], cost: CostModel
+) -> tuple[np.ndarray, int]:
+    """Intersect several sorted lists; returns ``(result, cycles)``.
+
+    Charges one warp intersection per pairwise step, streaming the current
+    (smaller) partial result against the next list — the order the stack
+    machine uses.  A single list costs one copy (it must still be written to
+    the stack level by the caller, charged separately).
+    """
+    if not lists:
+        return np.empty(0, dtype=np.int32), cost.step
+    if len(lists) == 1:
+        arr = lists[0]
+        return arr.astype(np.int32, copy=False), cost.copy_cost(arr.size)
+    # Start from the smallest list: standard GPU practice, fewer batches.
+    ordered = sorted(lists, key=lambda x: x.size)
+    result = ordered[0]
+    cycles = 0
+    for other in ordered[1:]:
+        cycles += cost.intersect_cost(result.size, other.size)
+        result = intersect_sorted(result, other)
+        if result.size == 0:
+            break
+    return result.astype(np.int32, copy=False), cycles

@@ -1,0 +1,154 @@
+"""Match results and run statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.gpusim.costmodel import CYCLES_PER_MS
+
+
+@dataclass
+class QueueStats:
+    """``Q_task`` counters for one run."""
+
+    enqueued: int = 0
+    dequeued: int = 0
+    enqueue_failures: int = 0
+    dequeue_failures: int = 0
+    peak_tasks: int = 0
+
+
+@dataclass
+class MemoryStats:
+    """Device-memory figures for one run (Tables V & VII)."""
+
+    stack_bytes: int = 0
+    """Total stack footprint across warps (pages held + page tables, or the
+    preallocated arrays for array modes)."""
+    arena_bytes: int = 0
+    """Reserved Ouroboros arena (paged mode only)."""
+    queue_bytes: int = 0
+    graph_bytes: int = 0
+    device_peak_bytes: int = 0
+    pages_allocated: int = 0
+
+
+@dataclass
+class MatchResult:
+    """Outcome of one subgraph-matching job.
+
+    ``count`` is the number of matches found under the plan's symmetry
+    constraints — i.e. distinct subgraph instances when symmetry breaking is
+    on, raw embeddings when it is off (``count_embeddings`` normalizes).
+    """
+
+    engine: str
+    graph_name: str
+    query_name: str
+    count: int
+    elapsed_cycles: int
+    aut_size: int = 1
+    symmetry_enabled: bool = True
+    num_gpus: int = 1
+    overflowed: bool = False
+    """True when a fixed-capacity stack level truncated candidates — the
+    count is then *unreliable*, as the paper shows for STMatch on Pokec."""
+    error: Optional[str] = None
+    """Failure marker ('OOM', 'ERR'); mirrors the paper's result tables."""
+    matches: Optional[list] = None
+    """When enumeration was requested: matches as tuples of data-vertex ids
+    indexed by *query vertex id* (capped at the requested limit)."""
+    trace: Optional[object] = None
+    """Per-warp timeline (a :class:`repro.gpusim.trace.TraceRecorder`)
+    when ``TDFSConfig(trace=True)``."""
+
+    # detailed accounting
+    matches_per_warp_max: int = 0
+    busy_cycles: int = 0
+    idle_cycles: int = 0
+    load_imbalance: float = 1.0
+    timeouts: int = 0
+    steals: int = 0
+    kernel_launches: int = 0
+    chunks_fetched: int = 0
+    host_preprocess_cycles: int = 0
+    queue: QueueStats = field(default_factory=QueueStats)
+    memory: MemoryStats = field(default_factory=MemoryStats)
+
+    @property
+    def elapsed_ms(self) -> float:
+        """Virtual makespan in simulated milliseconds."""
+        return self.elapsed_cycles / CYCLES_PER_MS
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
+
+    @property
+    def count_embeddings(self) -> int:
+        """Total embeddings = instances × |Aut| (normalizes engines that
+        run without symmetry breaking, like EGSM)."""
+        if self.symmetry_enabled:
+            return self.count * self.aut_size
+        return self.count
+
+    @property
+    def count_instances(self) -> float:
+        """Distinct subgraph instances (embeddings / |Aut|)."""
+        if self.symmetry_enabled:
+            return self.count
+        return self.count / self.aut_size
+
+    def to_dict(self) -> dict:
+        """Serialize to plain JSON-compatible types (for logging/export)."""
+        return {
+            "engine": self.engine,
+            "graph": self.graph_name,
+            "query": self.query_name,
+            "count": self.count,
+            "count_embeddings": self.count_embeddings,
+            "aut_size": self.aut_size,
+            "symmetry_enabled": self.symmetry_enabled,
+            "elapsed_ms": self.elapsed_ms,
+            "num_gpus": self.num_gpus,
+            "overflowed": self.overflowed,
+            "error": self.error,
+            "load_imbalance": self.load_imbalance,
+            "timeouts": self.timeouts,
+            "steals": self.steals,
+            "kernel_launches": self.kernel_launches,
+            "chunks_fetched": self.chunks_fetched,
+            "busy_cycles": self.busy_cycles,
+            "idle_cycles": self.idle_cycles,
+            "host_preprocess_ms": self.host_preprocess_cycles / CYCLES_PER_MS,
+            "queue": {
+                "enqueued": self.queue.enqueued,
+                "dequeued": self.queue.dequeued,
+                "enqueue_failures": self.queue.enqueue_failures,
+                "peak_tasks": self.queue.peak_tasks,
+            },
+            "memory": {
+                "stack_bytes": self.memory.stack_bytes,
+                "arena_bytes": self.memory.arena_bytes,
+                "queue_bytes": self.memory.queue_bytes,
+                "graph_bytes": self.memory.graph_bytes,
+                "device_peak_bytes": self.memory.device_peak_bytes,
+                "pages_allocated": self.memory.pages_allocated,
+            },
+            "num_matches_collected": len(self.matches) if self.matches else 0,
+        }
+
+    def summary(self) -> str:
+        """One-line report used by examples and the bench harness."""
+        if self.failed:
+            return (
+                f"{self.engine:>10} {self.graph_name}/{self.query_name}: "
+                f"{self.error}"
+            )
+        flag = " [OVERFLOW: count unreliable]" if self.overflowed else ""
+        return (
+            f"{self.engine:>10} {self.graph_name}/{self.query_name}: "
+            f"{self.count} matches in {self.elapsed_ms:.3f} ms "
+            f"(imbalance {self.load_imbalance:.2f}){flag}"
+        )

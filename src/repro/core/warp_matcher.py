@@ -1,0 +1,662 @@
+"""Warp-level backtracking with load balancing (Algorithms 2 and 4).
+
+A :class:`MatchJob` holds everything the warps of one device share — the
+graph, the compiled plan, the initial-edge cursor, ``Q_task``, the busy
+counter used for termination detection — and produces warp *bodies*:
+generators the DES scheduler drives.
+
+Four load-balancing strategies are implemented inside this one framework,
+following the paper's Fig. 11 methodology:
+
+* :attr:`Strategy.TIMEOUT` — T-DFS: a task running longer than τ is
+  decomposed into ≤3-vertex prefix tasks pushed to the lock-free queue;
+  idle warps drain the queue before fetching new initial chunks.
+* :attr:`Strategy.HALF_STEAL` — STMatch: an idle warp locks a victim's
+  stack and takes half the remaining candidates of the shallowest level;
+  the victim pays lock overhead on every stack access and stalls while
+  being robbed.
+* :attr:`Strategy.NEW_KERNEL` — EGSM: a level whose fanout exceeds a
+  threshold is handed to a freshly launched child kernel (launch latency +
+  new stack allocations, which can OOM).
+* :attr:`Strategy.NONE` — no stealing (the τ = ∞ baseline).
+
+Scheduling protocol: a warp must ``yield warp.sync()`` *before* every
+shared-state interaction so the operation executes at its correct global
+virtual time; between interactions it may do arbitrary local work while
+charging cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+import numpy as np
+
+from repro.core.candidates import filter_candidates, leaf_matches
+from repro.core.config import Strategy, TDFSConfig
+from repro.core.edge_filter import filter_chunk
+from repro.core.intersect import intersect_sorted
+from repro.gpusim.device import VirtualGPU, Warp
+from repro.graph.csr import CSRGraph
+from repro.query.plan import MatchingPlan
+from repro.alloc.stack import WarpStack, LevelFactory
+from repro.taskqueue.ring import LockFreeTaskQueue
+from repro.taskqueue.tasks import Task, PLACEHOLDER
+
+#: Warp syncs (and half-steal lock checks) happen every this many tree nodes.
+SYNC_INTERVAL = 64
+
+#: Maximum warps a child kernel launches (paper example: fanout 1024 → 32).
+MAX_CHILD_WARPS = 32
+
+
+class RunState:
+    """Mutable per-warp DFS state — visible to thieves in HALF_STEAL mode."""
+
+    __slots__ = (
+        "path",
+        "filtered",
+        "iters",
+        "stack",
+        "chunk",
+        "chunk_pos",
+        "t0",
+        "busy_flag",
+        "pending_stall",
+        "valid_from",
+        "item_prefix",
+        "nodes",
+    )
+
+    def __init__(self, num_levels: int, stack: WarpStack) -> None:
+        self.path = [0] * num_levels
+        self.filtered: list[Optional[np.ndarray]] = [None] * num_levels
+        self.iters = [0] * num_levels
+        self.stack = stack
+        self.chunk: Optional[np.ndarray] = None
+        self.chunk_pos = 0
+        self.t0 = 0
+        self.busy_flag = False
+        self.pending_stall = 0
+        self.valid_from = 0
+        self.item_prefix = 0
+        self.nodes = 0
+
+
+class MatchJob:
+    """Shared state + warp bodies for one device's matching kernel."""
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        plan: MatchingPlan,
+        config: TDFSConfig,
+        gpu: VirtualGPU,
+        edges: np.ndarray,
+        queue: Optional[LockFreeTaskQueue],
+        level_factory: LevelFactory,
+        prefiltered: bool = False,
+        child_stack_bytes: int = 0,
+        prefix_width: int = 2,
+        collect_limit: int = 0,
+    ) -> None:
+        self.graph = graph
+        self.plan = plan
+        self.config = config
+        self.gpu = gpu
+        self.cost = config.cost
+        self.edges = edges
+        self.prefiltered = prefiltered
+        self.queue = queue
+        self.level_factory = level_factory
+        self.child_stack_bytes = child_stack_bytes
+        #: Width of initial-work rows: 2 for edge tasks (the paper's default)
+        #: or deeper prefixes when a hybrid BFS phase seeds the DFS.
+        self.prefix_width = int(prefix_width)
+        self.cursor = 0
+        self.busy = 0
+        self.count = 0
+        #: Optional enumeration sink (position-order vertex tuples).
+        self.collect_limit = int(collect_limit)
+        self.collected: list[tuple[int, ...]] = []
+        self.run_states: list[RunState] = []
+        self.strategy = config.strategy
+        self.tau = config.tau_cycles
+
+    # ------------------------------------------------------------------ #
+    # Termination
+    # ------------------------------------------------------------------ #
+
+    def finished(self) -> bool:
+        """True when no initial edges, queued tasks, or busy warps remain."""
+        if self.cursor < len(self.edges):
+            return False
+        if self.queue is not None and self.queue.num_tasks > 0:
+            return False
+        return self.busy == 0
+
+    # ------------------------------------------------------------------ #
+    # Warp main loop
+    # ------------------------------------------------------------------ #
+
+    def warp_body(self, warp: Warp) -> Generator[int, None, None]:
+        """Main loop of a resident warp (priority: queue > chunk > steal)."""
+        st = RunState(self.plan.num_levels, WarpStack(self.plan.num_levels, self.level_factory))
+        self.run_states.append(st)
+        cost = self.cost
+        while True:
+            # Priority 1: drain Q_task (keeps the queue small, paper Fig. 4).
+            if self.queue is not None:
+                yield warp.sync()
+                task, cycles = self.queue.dequeue()
+                warp.charge(cycles)
+                if task is not None:
+                    warp.stats.tasks_dequeued += 1
+                    self.busy += 1
+                    st.busy_flag = True
+                    yield from self._process_task(warp, st, task)
+                    st.busy_flag = False
+                    self.busy -= 1
+                    self.gpu.note_work_done(warp.now)
+                    continue
+            # Priority 2: fetch the next chunk of initial tasks.
+            if self.cursor < len(self.edges):
+                yield warp.sync()
+                if self.cursor < len(self.edges):
+                    lo = self.cursor
+                    hi = min(lo + self.config.chunk_size, len(self.edges))
+                    self.cursor = hi
+                    warp.charge(cost.chunk_fetch)
+                    warp.stats.chunks += 1
+                    chunk = self.edges[lo:hi]
+                    if not self.prefiltered and self.prefix_width == 2:
+                        chunk, cycles = filter_chunk(
+                            self.graph,
+                            self.plan,
+                            chunk,
+                            cost,
+                            prune_degree=self.config.enable_edge_filter,
+                        )
+                        warp.charge(cycles)
+                    if len(chunk):
+                        self.busy += 1
+                        st.busy_flag = True
+                        yield from self._process_chunk(warp, st, chunk)
+                        st.busy_flag = False
+                        self.busy -= 1
+                        self.gpu.note_work_done(warp.now)
+                    continue
+            # Priority 3: half stealing (STMatch-style).
+            if self.strategy is Strategy.HALF_STEAL:
+                pending = yield from self._try_steal(warp, st)
+                if pending is not None:
+                    self.busy += 1
+                    st.busy_flag = True
+                    yield from self._process_stolen(warp, st, pending)
+                    st.busy_flag = False
+                    self.busy -= 1
+                    self.gpu.note_work_done(warp.now)
+                    continue
+            # Idle: poll until the job is done.
+            if self.finished():
+                break
+            warp.charge(cost.idle_poll, busy=False)
+            yield warp.sync()
+
+    # ------------------------------------------------------------------ #
+    # Work-item processing
+    # ------------------------------------------------------------------ #
+
+    def _process_chunk(
+        self, warp: Warp, st: RunState, edges: np.ndarray
+    ) -> Generator[int, None, None]:
+        """Process a chunk of initial work rows (Algorithm 4 lines 4–6).
+
+        Rows are edges (width 2) in the standard pipeline, or deeper
+        prefixes when a hybrid BFS phase seeded the DFS.
+        """
+        width = edges.shape[1] if edges.ndim == 2 else 2
+        st.chunk = edges
+        st.chunk_pos = 0
+        st.t0 = warp.now  # t0 is per chunk (Algorithm 4 line 6)
+        while st.chunk_pos < len(st.chunk):
+            if (
+                self.strategy is Strategy.TIMEOUT
+                and self.queue is not None
+                and width == 2
+                and warp.now - st.t0 > self.tau
+                and st.chunk_pos < len(st.chunk) - 1
+            ):
+                # Decompose: ship the remaining edges as 2-vertex tasks.
+                shipped = yield from self._enqueue_remaining_edges(warp, st)
+                if shipped:
+                    st.chunk = None
+                    return
+            row = st.chunk[st.chunk_pos]
+            st.chunk_pos += 1
+            for i in range(width):
+                st.path[i] = int(row[i])
+            yield from self._process_item(warp, st, width)
+        st.chunk = None
+
+    def _process_task(
+        self, warp: Warp, st: RunState, task: Task
+    ) -> Generator[int, None, None]:
+        """Process a task dequeued from ``Q_task`` (Algorithm 4 lines 1–3)."""
+        st.path[0] = task.v1
+        st.path[1] = task.v2
+        prefix_len = 2
+        if task.v3 != PLACEHOLDER:
+            st.path[2] = task.v3
+            prefix_len = 3
+        st.t0 = warp.now
+        yield from self._process_item(warp, st, prefix_len)
+
+    def _process_stolen(
+        self, warp: Warp, st: RunState, pending: tuple
+    ) -> Generator[int, None, None]:
+        """Process work stolen from a victim's stack (HALF_STEAL)."""
+        kind = pending[0]
+        st.t0 = warp.now
+        if kind == "edges":
+            yield from self._process_chunk(warp, st, pending[1])
+            return
+        _, prefix, candidates = pending
+        p = len(prefix)
+        for c in candidates:
+            st.path[: p] = prefix
+            st.path[p] = int(c)
+            yield from self._process_item(warp, st, p + 1)
+
+    # ------------------------------------------------------------------ #
+    # The DFS over one work item (Algorithm 2 core + Algorithm 4 timeout)
+    # ------------------------------------------------------------------ #
+
+    def _process_item(
+        self, warp: Warp, st: RunState, prefix_len: int
+    ) -> Generator[int, None, None]:
+        cost = self.cost
+        plan = self.plan
+        k = plan.num_levels
+        st.item_prefix = prefix_len
+        st.valid_from = prefix_len
+        if prefix_len >= k:
+            self._emit(warp, 1)
+            if self.collect_limit and len(self.collected) < self.collect_limit:
+                self.collected.append(tuple(st.path[:k]))
+            warp.charge(cost.emit_match)
+            return
+        for p in range(prefix_len, k):
+            # Clear stale state from a previous item so HALF_STEAL thieves
+            # never see (and re-steal) already-processed levels.
+            st.filtered[p] = None
+            st.iters[p] = 0
+        if prefix_len == k - 1:
+            # The item's first unfilled position is the leaf: bulk count.
+            raw, cycles = self._raw(st, prefix_len)
+            level = st.stack.level(prefix_len)
+            cycles += level.write(raw, cost)
+            leaves, leaf_cycles = leaf_matches(
+                self.graph,
+                plan,
+                st.path,
+                level.values(),
+                cost,
+                self.config.stmatch_removal,
+            )
+            warp.charge(cycles + leaf_cycles)
+            self._emit_leaves(warp, st, leaves, prefix_len)
+            return
+
+        pos = prefix_len
+        launched = yield from self._fill(warp, st, pos)
+        if launched:
+            return
+        while True:
+            st.nodes += 1
+            if st.nodes >= SYNC_INTERVAL:
+                st.nodes = 0
+                if st.pending_stall:
+                    warp.charge(st.pending_stall)
+                    st.pending_stall = 0
+                yield warp.sync()
+            f = st.filtered[pos]
+            i = st.iters[pos]
+            if i < len(f):
+                if (
+                    self.strategy is Strategy.TIMEOUT
+                    and self.queue is not None
+                    and pos == 2
+                    and st.item_prefix == 2
+                    and warp.now - st.t0 > self.tau
+                ):
+                    all_shipped = yield from self._decompose_level(warp, st, pos)
+                    if all_shipped:
+                        st.iters[pos] = len(st.filtered[pos])
+                        continue
+                    f = st.filtered[pos]
+                    i = st.iters[pos]
+                v = int(f[i])
+                st.iters[pos] = i + 1
+                st.path[pos] = v
+                nxt = pos + 1
+                if nxt == k - 1:
+                    raw, cycles = self._raw(st, nxt)
+                    level = st.stack.level(nxt)
+                    cycles += level.write(raw, cost)
+                    leaves, leaf_cycles = leaf_matches(
+                        self.graph,
+                        plan,
+                        st.path,
+                        level.values(),
+                        cost,
+                        self.config.stmatch_removal,
+                    )
+                    warp.charge(cost.step + cycles + leaf_cycles)
+                    self._emit_leaves(warp, st, leaves, nxt)
+                else:
+                    pos = nxt
+                    launched = yield from self._fill(warp, st, pos)
+                    if launched:
+                        pos -= 1
+            else:
+                warp.charge(cost.step)
+                if pos == prefix_len:
+                    return
+                pos -= 1
+
+    def adjacency(self, v: int, pos: int) -> np.ndarray:
+        """Adjacency-list read hook (EGSM routes this through its CT-index)."""
+        return self.graph.neighbors(v)
+
+    def _raw(self, st: RunState, pos: int) -> tuple[np.ndarray, int]:
+        """Candidates at ``pos`` per Eq. (1), honoring the reuse plan.
+
+        Fused hot path: gathers the adjacency lists (or a reuse seed),
+        intersects them smallest-first, then applies the position's
+        *static* filters (label equality, minimum degree) before the set is
+        stored — the paper filters candidates by label during extension.
+        Path-dependent filters (injectivity, symmetry bounds) stay at
+        selection time so stored sets remain reusable; the reuse plan
+        guarantees label/degree compatibility between source and target.
+        """
+        result, cycles = self._intersect(st, pos)
+        return self._static_filter(result, pos, cycles)
+
+    def _static_filter(
+        self, result: np.ndarray, pos: int, cycles: int
+    ) -> tuple[np.ndarray, int]:
+        if result.size == 0:
+            return result, cycles
+        plan = self.plan
+        graph = self.graph
+        mask = None
+        if plan.is_labeled and graph.is_labeled:
+            mask = graph.labels[result] == plan.labels[pos]
+        if plan.degrees[pos] > 1:
+            deg_mask = graph.degrees[result] >= plan.degrees[pos]
+            mask = deg_mask if mask is None else (mask & deg_mask)
+        if mask is None:
+            return result, cycles
+        return result[mask], cycles + self.cost.filter_cost(result.size)
+
+    def _intersect(self, st: RunState, pos: int) -> tuple[np.ndarray, int]:
+        plan = self.plan
+        cost = self.cost
+        path = st.path
+        entry = plan.reuse[pos]
+        if (
+            self.config.enable_reuse
+            and entry.reuses
+            and entry.source >= st.valid_from
+        ):
+            lists = [st.stack.level(entry.source).raw]
+            for j in entry.remaining:
+                lists.append(self.adjacency(path[j], pos))
+        else:
+            lists = [self.adjacency(path[j], pos) for j in plan.backward[pos]]
+        if len(lists) == 1:
+            arr = lists[0]
+            return arr, cost.copy_cost(arr.size)
+        if len(lists) == 2:
+            a, b = lists
+            if a.size > b.size:
+                a, b = b, a
+            return intersect_sorted(a, b), cost.intersect_cost(a.size, b.size)
+        lists.sort(key=lambda x: x.size)
+        a = lists[0]
+        cycles = 0
+        for b in lists[1:]:
+            cycles += cost.intersect_cost(a.size, b.size)
+            a = intersect_sorted(a, b)
+            if a.size == 0:
+                break
+        return a, cycles
+
+    def _fill(
+        self, warp: Warp, st: RunState, pos: int
+    ) -> Generator[int, None, bool]:
+        """Extend ``stack[pos]`` (Algorithm 2 line 6 / Algorithm 4 line 11).
+
+        Returns True when a child kernel took over this level (NEW_KERNEL).
+        """
+        cost = self.cost
+        cycles = cost.step  # per-node bookkeeping (level move, iter reset)
+        if self.strategy is Strategy.HALF_STEAL:
+            # STMatch: the warp locks its own stack on every access.
+            cycles += cost.lock_acquire
+        raw, raw_cycles = self._raw(st, pos)
+        level = st.stack.level(pos)
+        cycles += raw_cycles + level.write(raw, cost)
+        filtered, filter_cycles = filter_candidates(
+            self.graph,
+            self.plan,
+            st.path,
+            pos,
+            level.values(),
+            cost,
+            self.config.stmatch_removal,
+        )
+        warp.charge(cycles + filter_cycles)
+        st.filtered[pos] = filtered
+        st.iters[pos] = 0
+        if (
+            self.strategy is Strategy.NEW_KERNEL
+            and len(filtered) > self.config.new_kernel_fanout
+        ):
+            yield from self._spawn_child_kernel(warp, st, pos)
+            return True
+        return False
+
+    def _emit(self, warp: Warp, n: int) -> None:
+        if n:
+            self.count += n
+            warp.stats.matches += n
+
+    def _emit_leaves(
+        self, warp: Warp, st: RunState, leaves: np.ndarray, leaf_pos: int
+    ) -> None:
+        """Count a bulk leaf set and optionally record the full embeddings."""
+        n = int(leaves.size)
+        self._emit(warp, n)
+        if n and self.collect_limit and len(self.collected) < self.collect_limit:
+            room = self.collect_limit - len(self.collected)
+            prefix = tuple(st.path[:leaf_pos])
+            for v in leaves[:room]:
+                self.collected.append(prefix + (int(v),))
+
+    # ------------------------------------------------------------------ #
+    # TIMEOUT strategy: task decomposition (Algorithm 4 lines 12–21)
+    # ------------------------------------------------------------------ #
+
+    def _decompose_level(
+        self, warp: Warp, st: RunState, pos: int
+    ) -> Generator[int, None, bool]:
+        """Enqueue the remaining candidates at ``pos`` as 3-vertex tasks.
+
+        Returns True when everything was shipped; on a full queue, resets
+        ``t0`` and leaves the remainder for in-place processing (paper
+        Algorithm 4 lines 18–20).
+        """
+        warp.stats.timeouts += 1
+        v1, v2 = st.path[0], st.path[1]
+        f = st.filtered[pos]
+        j = st.iters[pos]
+        while j < len(f):
+            yield warp.sync()
+            ok, cycles = self.queue.enqueue(Task(v1, v2, int(f[j])))
+            warp.charge(cycles)
+            if not ok:
+                st.t0 = warp.now
+                st.iters[pos] = j
+                return False
+            warp.stats.tasks_enqueued += 1
+            j += 1
+        st.iters[pos] = j
+        return True
+
+    def _enqueue_remaining_edges(
+        self, warp: Warp, st: RunState
+    ) -> Generator[int, None, bool]:
+        """Ship the chunk's unprocessed edges as 2-vertex tasks."""
+        warp.stats.timeouts += 1
+        while st.chunk_pos < len(st.chunk):
+            edge = st.chunk[st.chunk_pos]
+            yield warp.sync()
+            ok, cycles = self.queue.enqueue(Task.edge(int(edge[0]), int(edge[1])))
+            warp.charge(cycles)
+            if not ok:
+                st.t0 = warp.now
+                return False
+            warp.stats.tasks_enqueued += 1
+            st.chunk_pos += 1
+        return True
+
+    # ------------------------------------------------------------------ #
+    # HALF_STEAL strategy (STMatch, paper Fig. 2)
+    # ------------------------------------------------------------------ #
+
+    def _try_steal(
+        self, warp: Warp, st: RunState
+    ) -> Generator[int, None, Optional[tuple]]:
+        """Probe victims and steal half of the shallowest available level."""
+        cost = self.cost
+        yield warp.sync()
+        warp.charge(cost.steal_probe)
+        for victim in self.run_states:
+            if victim is st or not victim.busy_flag:
+                continue
+            pending = self._steal_from(warp, victim)
+            if pending is not None:
+                warp.stats.steals += 1
+                return pending
+        return None
+
+    def _steal_from(self, warp: Warp, victim: RunState) -> Optional[tuple]:
+        """Lock ``victim`` and split its shallowest remaining work."""
+        cost = self.cost
+        # Chunk level first: unprocessed initial edges are the shallowest.
+        chunk = victim.chunk
+        if chunk is not None:
+            remaining = len(chunk) - victim.chunk_pos
+            if remaining >= 2:
+                warp.charge(cost.lock_acquire)
+                keep = remaining - remaining // 2
+                cut = victim.chunk_pos + keep
+                stolen = chunk[cut:]
+                victim.chunk = chunk[:cut]
+                stall = cost.lock_acquire + cost.steal_copy_per_element * len(stolen) * 2
+                victim.pending_stall += stall
+                warp.charge(cost.steal_copy_per_element * len(stolen) * 2)
+                return ("edges", stolen)
+        # Otherwise: shallowest stack level with >= 2 unprocessed candidates.
+        for p in range(victim.item_prefix, self.plan.num_levels - 1):
+            f = victim.filtered[p]
+            if f is None:
+                break
+            remaining = len(f) - victim.iters[p]
+            if remaining >= 2:
+                warp.charge(cost.lock_acquire)
+                keep = remaining - remaining // 2
+                cut = victim.iters[p] + keep
+                stolen = f[cut:]
+                victim.filtered[p] = f[:cut]
+                prefix = [int(x) for x in victim.path[:p]]
+                stall = cost.lock_acquire + cost.steal_copy_per_element * (
+                    len(stolen) + p
+                )
+                victim.pending_stall += stall
+                warp.charge(cost.steal_copy_per_element * (len(stolen) + p))
+                return ("prefix", prefix, stolen)
+        return None
+
+    # ------------------------------------------------------------------ #
+    # NEW_KERNEL strategy (EGSM)
+    # ------------------------------------------------------------------ #
+
+    def _spawn_child_kernel(
+        self, warp: Warp, st: RunState, pos: int
+    ) -> Generator[int, None, None]:
+        """Hand the just-filled level to a freshly launched child kernel."""
+        cost = self.cost
+        candidates = st.filtered[pos]
+        st.iters[pos] = len(candidates)  # parent skips this level
+        prefix = [int(x) for x in st.path[:pos]]
+        n_warps = min(MAX_CHILD_WARPS, (len(candidates) + 31) // 32)
+        yield warp.sync()
+        # A new kernel needs dedicated stack space allocated up front —
+        # the expense (and failure mode) the paper attributes to EGSM.
+        handles = []
+        for _ in range(n_warps):
+            if self.child_stack_bytes:
+                handles.append(
+                    self.gpu.memory.allocate(self.child_stack_bytes, tag="child-stack")
+                )
+            warp.charge(cost.alloc_cost(max(self.child_stack_bytes, 1024)))
+        warp.charge(cost.kernel_launch)
+        start = warp.now + cost.kernel_launch
+        self.busy += n_warps
+        for idx in range(n_warps):
+            handle = handles[idx] if handles else None
+            body = self._child_body(prefix, candidates[idx::n_warps], pos, handle)
+            self.gpu.launch_child_kernel(body, count=1, at=start)
+
+    def _child_body(
+        self,
+        prefix: list[int],
+        candidates: np.ndarray,
+        pos: int,
+        mem_handle: Optional[int],
+    ):
+        def body(warp: Warp) -> Generator[int, None, None]:
+            st = RunState(
+                self.plan.num_levels,
+                WarpStack(self.plan.num_levels, self.level_factory),
+            )
+            self.run_states.append(st)
+            st.busy_flag = True
+            st.t0 = warp.now
+            for c in candidates:
+                st.path[: pos] = prefix
+                st.path[pos] = int(c)
+                yield from self._process_item(warp, st, pos + 1)
+            st.busy_flag = False
+            yield warp.sync()
+            self.busy -= 1
+            if mem_handle is not None:
+                self.gpu.memory.release(mem_handle)
+            self.gpu.note_work_done(warp.now)
+
+        return body
+
+    # ------------------------------------------------------------------ #
+    # Post-run accounting
+    # ------------------------------------------------------------------ #
+
+    def stack_bytes(self) -> int:
+        """Total stack footprint across all warps (incl. child kernels)."""
+        return sum(st.stack.memory_bytes() for st in self.run_states)
+
+    def overflowed(self) -> bool:
+        """True when any fixed-capacity level truncated candidates."""
+        return any(st.stack.overflow_count() > 0 for st in self.run_states)

@@ -1,0 +1,36 @@
+"""Virtual-GPU substrate: a deterministic discrete-event simulator.
+
+The paper's contributions (timeout task decomposition, lock-free queue,
+paged stacks) are *scheduling and memory algorithms executed by warps*.  To
+run them without CUDA hardware, this package models a GPU as:
+
+* a set of **warps**, each a Python generator that performs real work
+  (set intersections, stack pushes) and *charges* virtual cycles for it
+  according to an explicit :class:`~repro.gpusim.costmodel.CostModel`;
+* a **discrete-event scheduler** that always resumes the warp with the
+  smallest local virtual clock, so shared-state interactions (queue
+  operations, stealing, termination) interleave in virtual-time order;
+* a **device memory** account with a hard capacity, from which the CSR
+  graph, stacks, queue, page arena and index structures are allocated —
+  allocations beyond capacity raise the same OOM failures the paper reports.
+
+Virtual time unit: 1 cycle ≈ 1 ns of device time; ``CYCLES_PER_MS = 1e6``.
+All reported "running times" in the benchmark tables are virtual makespans,
+i.e. the completion time of the last useful work on the device.
+"""
+
+from repro.gpusim.costmodel import CostModel, CYCLES_PER_MS
+from repro.gpusim.atomics import AtomicInt
+from repro.gpusim.device import VirtualGPU, Warp
+from repro.gpusim.memory import DeviceMemory
+from repro.gpusim.scheduler import Scheduler
+
+__all__ = [
+    "CostModel",
+    "CYCLES_PER_MS",
+    "AtomicInt",
+    "VirtualGPU",
+    "Warp",
+    "DeviceMemory",
+    "Scheduler",
+]

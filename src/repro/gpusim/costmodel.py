@@ -1,0 +1,144 @@
+"""Cost model: virtual-cycle charges for warp-level operations.
+
+Every charge in the simulator comes from one named constant here, so the
+mapping from "what a warp does" to "how long it takes" is explicit,
+auditable and tunable.  The defaults are chosen to sit in realistic relative
+proportions for an A100-class device (1 cycle ≈ 1 ns):
+
+* warp-level sorted-set intersection: each 32-lane batch loads 32 elements
+  coalesced and runs a per-lane binary search (the standard GPU intersection
+  the paper describes in Section II), so cost scales with
+  ``ceil(|A|/32) * (load + probe * log2 |B|)``;
+* atomics are tens of cycles; a child-kernel launch is hundreds of
+  microseconds (why EGSM's New-Kernel strategy loses, Fig. 11);
+* paged stack access adds a page-table indirection and existence check per
+  batch (why the page-based design trades ~2–3× time for 86–93 % memory,
+  Tables V–VIII);
+* stack locking for STMatch-style half stealing costs an atomic
+  acquire/release per stack touch plus busy-wait while a thief copies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+#: Virtual cycles per simulated millisecond (1 cycle ≈ 1 ns).
+CYCLES_PER_MS = 1_000_000
+
+#: Warp width — threads per warp, fixed by the architecture.
+WARP_SIZE = 32
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Cycle costs for every simulated device operation."""
+
+    # --- memory / intersection ---------------------------------------- #
+    load_batch: int = 24
+    """Coalesced load of up to 32 consecutive elements by a warp."""
+    probe: int = 6
+    """One binary-search probe step per lane (multiplied by log2 |B|)."""
+    compact_batch: int = 12
+    """Warp-level ballot-scan compaction of one 32-element batch."""
+    write_batch: int = 16
+    """Coalesced write of one 32-element batch to a stack level."""
+    memory_multiplier: float = 1.0
+    """Multiplier on adjacency reads (EGSM's 3-level CT-index sets 3.0)."""
+
+    # --- control flow --------------------------------------------------- #
+    step: int = 12
+    """Per-search-tree-node bookkeeping (level moves, iter updates)."""
+    check_candidate: int = 3
+    """Per-candidate selection checks (injectivity, symmetry, label)."""
+    emit_match: int = 8
+    """Counting/emitting one valid match."""
+
+    # --- atomics / queue ------------------------------------------------- #
+    atomic: int = 30
+    """One global-memory atomic (add/sub/CAS/exch)."""
+    nanosleep: int = 10
+    """``__nanosleep(10)`` in the queue retry loops (Algorithm 3)."""
+    task_copy: int = 12
+    """Copying one task's 3 integers to/from the queue ring."""
+
+    # --- paging / allocation ---------------------------------------------- #
+    page_check: int = 55
+    """Page-table lookup + existence check per stack access batch."""
+    page_alloc: int = 1500
+    """Requesting one page from the Ouroboros-style allocator."""
+    big_alloc_per_kb: int = 18
+    """Bulk device allocation cost per KiB (stacks for new kernels, PBE
+    batch buffers) — dynamic cudaMalloc-style allocations are expensive."""
+
+    # --- load-balancing strategies ---------------------------------------- #
+    lock_acquire: int = 120
+    """Acquiring/releasing a stack lock (STMatch half steal)."""
+    steal_copy_per_element: int = 6
+    """Copying one stolen stack element between warps."""
+    steal_probe: int = 80
+    """An idle warp probing one victim's stack for stealable work."""
+    kernel_launch: int = 250_000
+    """Launching a child kernel (EGSM New-Kernel strategy)."""
+    level_sync: int = 20_000
+    """Per-level synchronization of a BFS engine (PBE launches one kernel
+    per level; scaled with the stand-in datasets so the fixed launch floor
+    keeps the same proportion to total job time as on real hardware)."""
+
+    # --- host-side ---------------------------------------------------------- #
+    cpu_edge_filter: int = 150
+    """Host CPU cycles to filter one edge (STMatch's serial preprocessing;
+    scaled so it is negligible on moderate stand-ins but the dominant cost
+    on the big ones — the Friendster bottleneck in Fig. 10)."""
+
+    # --- scheduling ------------------------------------------------------- #
+    idle_poll: int = 3_000
+    """Delay between an idle warp's polls of the task queue."""
+    chunk_fetch: int = 60
+    """Fetching the next chunk of initial tasks (atomic cursor bump)."""
+
+    # ------------------------------------------------------------------ #
+    # Derived helpers
+    # ------------------------------------------------------------------ #
+
+    def intersect_cost(self, size_a: int, size_b: int) -> int:
+        """Cost of a warp computing ``A ∩ B`` with per-lane binary search.
+
+        ``A`` is streamed in 32-element batches; each lane binary-searches
+        its element in ``B``; survivors are compacted and written out.
+        """
+        if size_a <= 0:
+            return self.step
+        batches = (size_a + WARP_SIZE - 1) // WARP_SIZE
+        log_b = max(1, int(size_b).bit_length())
+        per_batch = (
+            self.load_batch * self.memory_multiplier
+            + self.probe * log_b
+            + self.compact_batch
+            + self.write_batch
+        )
+        return int(batches * per_batch)
+
+    def copy_cost(self, size: int) -> int:
+        """Cost of a warp bulk-copying ``size`` elements (e.g. reuse seed)."""
+        batches = (max(size, 1) + WARP_SIZE - 1) // WARP_SIZE
+        return int(batches * (self.load_batch * self.memory_multiplier + self.write_batch))
+
+    def filter_cost(self, size: int) -> int:
+        """Cost of scanning ``size`` candidates applying per-element checks."""
+        batches = (max(size, 1) + WARP_SIZE - 1) // WARP_SIZE
+        return int(
+            batches * (self.load_batch + self.compact_batch)
+            + size * 0  # per-element checks are lane-parallel
+        )
+
+    def alloc_cost(self, nbytes: int) -> int:
+        """Cost of a bulk device allocation of ``nbytes``."""
+        return self.big_alloc_per_kb * max(1, nbytes // 1024)
+
+    def with_memory_multiplier(self, mult: float) -> "CostModel":
+        """Copy of this model with a different adjacency-read multiplier."""
+        return replace(self, memory_multiplier=mult)
+
+
+#: Default cost model shared by all engines unless overridden.
+DEFAULT_COST_MODEL = CostModel()

@@ -1,0 +1,70 @@
+"""Device-memory accounting with a hard capacity.
+
+Every structure an engine places "on the device" — the CSR graph, warp
+stacks, the task queue ring, the Ouroboros page arena, EGSM's CT-index,
+PBE's level buffers — is registered here.  Exceeding the capacity raises
+:class:`~repro.errors.DeviceOOMError`, reproducing the OOM failures the
+paper reports (EGSM on Friendster, New-Kernel stack allocations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DeviceOOMError
+
+
+@dataclass
+class Allocation:
+    """One live device allocation."""
+
+    tag: str
+    nbytes: int
+
+
+@dataclass
+class DeviceMemory:
+    """A simple capacity-checked allocator with peak tracking."""
+
+    capacity: int
+    used: int = 0
+    peak: int = 0
+    allocations: dict[int, Allocation] = field(default_factory=dict)
+    _next_id: int = 0
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self.used
+
+    def allocate(self, nbytes: int, tag: str = "anon") -> int:
+        """Reserve ``nbytes``; returns a handle for :meth:`release`.
+
+        Raises :class:`DeviceOOMError` when the request does not fit.
+        """
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        if self.used + nbytes > self.capacity:
+            raise DeviceOOMError(nbytes, self.free, what=tag)
+        self.used += nbytes
+        self.peak = max(self.peak, self.used)
+        handle = self._next_id
+        self._next_id += 1
+        self.allocations[handle] = Allocation(tag, nbytes)
+        return handle
+
+    def release(self, handle: int) -> None:
+        """Free a prior allocation by handle."""
+        alloc = self.allocations.pop(handle)
+        self.used -= alloc.nbytes
+
+    def usage_by_tag(self) -> dict[str, int]:
+        """Live bytes grouped by allocation tag (for memory tables)."""
+        out: dict[str, int] = {}
+        for alloc in self.allocations.values():
+            out[alloc.tag] = out.get(alloc.tag, 0) + alloc.nbytes
+        return out
+
+    def would_fit(self, nbytes: int) -> bool:
+        """Check a hypothetical allocation without performing it."""
+        return self.used + int(nbytes) <= self.capacity

@@ -1,0 +1,75 @@
+"""Discrete-event warp scheduler.
+
+Each warp is a Python generator that yields the number of virtual cycles it
+just spent (``yield warp.sync()``).  The scheduler keeps a min-heap of warp
+resume times and always resumes the warp with the smallest local clock, so
+all shared-state interactions (queue operations, stealing, termination
+checks) happen in global virtual-time order and the simulation is fully
+deterministic.
+
+Between two yields a warp may do an arbitrary amount of *local* work while
+accumulating charges — only interactions with shared state need a yield.
+This keeps the Python overhead of the simulation proportional to the number
+of interactions, not the number of search-tree nodes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Generator, Optional
+
+from repro.errors import DeviceError
+
+#: Hard cap on scheduler events; hitting it means a livelock in a strategy.
+MAX_EVENTS = 50_000_000
+
+WarpBody = Generator[int, None, None]
+
+
+class Scheduler:
+    """Min-heap discrete-event loop over warp generators."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, object, WarpBody]] = []
+        self._seq = 0
+        self.now = 0
+        self.events = 0
+        self.completed = 0
+
+    def spawn(self, warp: object, body: WarpBody, at: Optional[int] = None) -> None:
+        """Register a warp generator to start at virtual time ``at``.
+
+        May be called while :meth:`run` is executing (child kernels).
+        """
+        start = self.now if at is None else int(at)
+        heapq.heappush(self._heap, (start, self._seq, warp, body))
+        self._seq += 1
+
+    def run(self, max_events: int = MAX_EVENTS) -> int:
+        """Drive all warps to completion; returns the final virtual time."""
+        heap = self._heap
+        while heap:
+            time, _seq, warp, body = heapq.heappop(heap)
+            self.now = time
+            # Let the warp context know when it was resumed so that
+            # ``warp.now`` stays consistent without a scheduler round-trip.
+            setter = getattr(warp, "_on_resume", None)
+            if setter is not None:
+                setter(time)
+            try:
+                spent = body.send(None)
+            except StopIteration:
+                self.completed += 1
+                finisher = getattr(warp, "_on_finish", None)
+                if finisher is not None:
+                    finisher(time)
+                continue
+            self.events += 1
+            if self.events > max_events:
+                raise DeviceError(
+                    f"scheduler exceeded {max_events} events; "
+                    "a warp strategy is livelocked"
+                )
+            heapq.heappush(heap, (time + int(spent), self._seq, warp, body))
+            self._seq += 1
+        return self.now

@@ -1,0 +1,118 @@
+"""Optional per-warp execution tracing for the virtual GPU.
+
+When enabled (``TDFSConfig(trace=True)``), every charge a warp makes is
+recorded as a ``(warp_id, start_cycle, end_cycle, busy)`` segment.  The
+recorder can then answer the questions the paper's load-balancing analysis
+asks — who was busy when, how long the straggler tail is, what device
+utilization looked like — and render a terminal timeline, which
+``examples/load_balancing_study.py``-style investigations can print.
+
+Tracing costs Python time proportional to the number of charges, so it is
+off by default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One contiguous span of warp activity."""
+
+    warp_id: int
+    start: int
+    end: int
+    busy: bool
+
+    @property
+    def cycles(self) -> int:
+        return self.end - self.start
+
+
+class TraceRecorder:
+    """Collects activity segments and computes utilization summaries."""
+
+    def __init__(self) -> None:
+        self.segments: list[Segment] = []
+
+    def record(self, warp_id: int, start: int, cycles: int, busy: bool) -> None:
+        if cycles <= 0:
+            return
+        self.segments.append(Segment(warp_id, start, start + cycles, busy))
+
+    # ------------------------------------------------------------------ #
+
+    def makespan(self) -> int:
+        """Last cycle any warp was active."""
+        return max((s.end for s in self.segments), default=0)
+
+    def busy_cycles(self, warp_id: Optional[int] = None) -> int:
+        """Total busy cycles (optionally for one warp)."""
+        return sum(
+            s.cycles
+            for s in self.segments
+            if s.busy and (warp_id is None or s.warp_id == warp_id)
+        )
+
+    def utilization(self, num_warps: int) -> float:
+        """Busy fraction of the device over the makespan."""
+        span = self.makespan()
+        if span == 0 or num_warps == 0:
+            return 0.0
+        return self.busy_cycles() / (span * num_warps)
+
+    def straggler_tail(self, num_warps: int) -> float:
+        """Fraction of the makespan during which < 25 % of warps work.
+
+        A long tail is the signature of an undecomposed straggler — the
+        exact pathology the timeout mechanism removes.
+        """
+        span = self.makespan()
+        if span == 0:
+            return 0.0
+        buckets = 100
+        width = max(1, span // buckets)
+        active = [set() for _ in range(buckets + 1)]
+        for s in self.segments:
+            if not s.busy:
+                continue
+            for b in range(s.start // width, min(s.end // width, buckets) + 1):
+                active[b].add(s.warp_id)
+        quiet = sum(1 for b in active if 0 < len(b) < max(1, num_warps // 4))
+        return quiet / len(active)
+
+    # ------------------------------------------------------------------ #
+
+    def ascii_timeline(self, num_warps: int, width: int = 60) -> str:
+        """Render warps × time as text: '#' busy, '.' idle, ' ' done."""
+        span = self.makespan()
+        if span == 0:
+            return "(no activity)"
+        ids = sorted({s.warp_id for s in self.segments})[:num_warps]
+        cell = max(1, span // width)
+        lines = []
+        for wid in ids:
+            row = [" "] * (width + 1)
+            for s in self.segments:
+                if s.warp_id != wid:
+                    continue
+                lo, hi = s.start // cell, min(s.end // cell, width)
+                mark = "#" if s.busy else "."
+                for x in range(lo, hi + 1):
+                    if row[x] != "#":
+                        row[x] = mark
+            lines.append(f"w{wid:>3} |{''.join(row)}|")
+        lines.append(
+            f"      0{' ' * (width - 8)}{self.makespan()} cycles"
+        )
+        return "\n".join(lines)
+
+
+def merge(recorders: Iterable[TraceRecorder]) -> TraceRecorder:
+    """Concatenate several recorders (multi-GPU runs)."""
+    merged = TraceRecorder()
+    for rec in recorders:
+        merged.segments.extend(rec.segments)
+    return merged

@@ -1,0 +1,37 @@
+"""Graph substrate: CSR storage, builders, generators, I/O and datasets.
+
+The data graph ``G`` is stored in compressed sparse row (CSR) format exactly
+as the paper describes (Section III, Fig. 3): a ``row_ptr`` array of size
+``|V|+1`` and a ``col_idx`` array of size ``2|E|`` with each adjacency list
+sorted by neighbor id, which is what the warp-level merge/binary-search set
+intersections rely on.
+"""
+
+from repro.graph.csr import CSRGraph
+from repro.graph.builder import GraphBuilder, from_edges
+from repro.graph.generators import (
+    erdos_renyi,
+    barabasi_albert,
+    power_law_cluster,
+    rmat,
+    ldbc_like,
+)
+from repro.graph.datasets import DATASETS, DatasetSpec, load_dataset, dataset_names
+from repro.graph.analysis import GraphStats, compute_stats
+
+__all__ = [
+    "CSRGraph",
+    "GraphBuilder",
+    "from_edges",
+    "erdos_renyi",
+    "barabasi_albert",
+    "power_law_cluster",
+    "rmat",
+    "ldbc_like",
+    "DATASETS",
+    "DatasetSpec",
+    "load_dataset",
+    "dataset_names",
+    "GraphStats",
+    "compute_stats",
+]

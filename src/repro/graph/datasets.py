@@ -1,0 +1,245 @@
+"""Registry of the 12 dataset stand-ins (paper Table I).
+
+The paper evaluates on 12 real graphs up to 1.8 billion edges.  Running the
+originals is impossible here (no network, single CPU core, pure-Python
+simulated device), so each dataset gets a *seeded synthetic stand-in* that
+preserves the property the evaluation actually exercises: the degree
+distribution regime.
+
+* Moderate graphs (first 8, unlabeled in the paper): balanced generators for
+  Amazon/DBLP/cit-Patents-like graphs, skewed power-law generators for
+  YouTube/Pokec-like graphs where ``d_max`` dwarfs the average degree.
+* Big graphs (last 4, labeled with 4 random labels in the paper): larger
+  stand-ins that default to 4 labels, exactly as Section IV-A describes.
+
+Scale factors versus the originals are recorded per dataset and surfaced in
+EXPERIMENTS.md.  Everything is deterministic: same name ⇒ same graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Callable, Optional
+
+from repro.errors import GraphError
+from repro.graph.builder import relabel_random
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import (
+    barabasi_albert,
+    erdos_renyi,
+    ldbc_like,
+    power_law_cluster,
+    rmat,
+    with_hubs,
+)
+
+#: Simulated device memory per GPU, in bytes.  The real machine has 40 GB per
+#: A100; the stand-ins are ~10^3–10^5× smaller, so the simulated budget is
+#: scaled accordingly.  Individual datasets may override (see ``friendster``
+#: whose budget is tuned so EGSM's CT-index OOMs at |L| = 4, as in Table IV).
+DEFAULT_DEVICE_MEMORY = 64 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class PaperStats:
+    """The original graph's statistics from Table I, for reporting."""
+
+    num_vertices: int
+    num_edges: int
+    avg_degree: float
+    max_degree: int
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A dataset stand-in: generator recipe plus paper-side metadata."""
+
+    name: str
+    category: str  # "moderate" | "big"
+    kind: str  # original graph family, for documentation
+    generator: Callable[[], CSRGraph] = field(repr=False)
+    paper: PaperStats = field(repr=False, default=None)  # type: ignore[assignment]
+    default_labels: Optional[int] = None
+    device_memory: int = DEFAULT_DEVICE_MEMORY
+    label_seed: int = 7
+
+    def load(self, num_labels: Optional[int] = None) -> CSRGraph:
+        """Materialize the stand-in graph (cached by ``load_dataset``)."""
+        graph = self.generator()
+        labels = num_labels if num_labels is not None else self.default_labels
+        if labels is not None:
+            graph = relabel_random(
+                graph, labels, seed=self.label_seed, name=f"{self.name}-L{labels}"
+            )
+        return graph
+
+
+def _spec(
+    name: str,
+    category: str,
+    kind: str,
+    generator: Callable[[], CSRGraph],
+    paper: PaperStats,
+    default_labels: Optional[int] = None,
+    device_memory: int = DEFAULT_DEVICE_MEMORY,
+) -> DatasetSpec:
+    return DatasetSpec(
+        name=name,
+        category=category,
+        kind=kind,
+        generator=generator,
+        paper=paper,
+        default_labels=default_labels,
+        device_memory=device_memory,
+    )
+
+
+#: The 12 stand-ins, keyed by the short name used throughout the benchmarks.
+#: The four paper graphs with extreme hub skew (YouTube, Pokec, Orkut,
+#: Sinaweibo — where STMatch's fixed stacks overflow) get explicit hubs.
+DATASETS: dict[str, DatasetSpec] = {
+    # ------------------------- moderate, unlabeled ------------------------ #
+    "amazon": _spec(
+        "amazon",
+        "moderate",
+        "co-purchase network (balanced degrees)",
+        lambda: power_law_cluster(900, 2, p_triangle=0.6, seed=11, name="amazon"),
+        PaperStats(334_863, 925_782, 5.5, 549),
+    ),
+    "dblp": _spec(
+        "dblp",
+        "moderate",
+        "collaboration network (clique-rich, balanced)",
+        lambda: power_law_cluster(900, 2, p_triangle=0.8, seed=12, name="dblp"),
+        PaperStats(317_080, 1_049_866, 6.6, 343),
+    ),
+    "youtube": _spec(
+        "youtube",
+        "moderate",
+        "social network (heavy power-law skew, d_max >> avg)",
+        lambda: with_hubs(
+            barabasi_albert(1000, 2, seed=13, name="youtube"),
+            num_hubs=3,
+            hub_degree=100,
+            seed=113,
+        ),
+        PaperStats(1_134_890, 2_987_624, 5.3, 28_754),
+    ),
+    "web-google": _spec(
+        "web-google",
+        "moderate",
+        "web graph (R-MAT-like skew)",
+        lambda: rmat(9, 2.4, seed=14, name="web-google"),
+        PaperStats(875_713, 4_322_051, 9.9, 6332),
+    ),
+    "imdb": _spec(
+        "imdb",
+        "moderate",
+        "bipartite-ish collaboration network",
+        lambda: power_law_cluster(1000, 2, p_triangle=0.5, seed=25, name="imdb"),
+        PaperStats(1_224_268, 5_369_400, 8.8, 833),
+    ),
+    "cit-patents": _spec(
+        "cit-patents",
+        "moderate",
+        "citation network (near-uniform degrees)",
+        lambda: erdos_renyi(1400, 5.0, seed=16, name="cit-patents"),
+        PaperStats(3_774_768, 16_518_947, 8.8, 793),
+    ),
+    "pokec": _spec(
+        "pokec",
+        "moderate",
+        "social network (large d_max; drives Tables III, V, VI)",
+        lambda: with_hubs(
+            barabasi_albert(1000, 2, seed=17, name="pokec"),
+            num_hubs=3,
+            hub_degree=105,
+            seed=117,
+        ),
+        PaperStats(1_632_803, 22_301_964, 27.3, 14_854),
+    ),
+    "facebook": _spec(
+        "facebook",
+        "moderate",
+        "social network (denser, moderate skew)",
+        lambda: power_law_cluster(800, 3, p_triangle=0.5, seed=18, name="facebook"),
+        PaperStats(3_097_165, 23_667_394, 15.3, 4915),
+    ),
+    # --------------------------- big, labeled ----------------------------- #
+    "orkut": _spec(
+        "orkut",
+        "big",
+        "social network (dense, clique-rich, hub-skewed)",
+        lambda: with_hubs(
+            power_law_cluster(1500, 6, p_triangle=0.4, seed=19, name="orkut"),
+            num_hubs=2,
+            hub_degree=150,
+            seed=119,
+        ),
+        PaperStats(3_702_441, 117_185_083, 76.3, 33_313),
+        default_labels=4,
+    ),
+    "sinaweibo": _spec(
+        "sinaweibo",
+        "big",
+        "social network (extreme hub skew)",
+        lambda: with_hubs(
+            barabasi_albert(1800, 2, seed=20, name="sinaweibo"),
+            num_hubs=3,
+            hub_degree=160,
+            seed=120,
+        ),
+        PaperStats(58_655_849, 261_321_033, 8.9, 278_489),
+        default_labels=4,
+    ),
+    "datagen": _spec(
+        "datagen",
+        "big",
+        "LDBC Datagen-90-fb (community structure)",
+        lambda: ldbc_like(1800, 8.0, num_communities=20, seed=21, name="datagen"),
+        PaperStats(12_857_671, 1_049_527_225, 163.3, 4207),
+        default_labels=4,
+    ),
+    "friendster": _spec(
+        "friendster",
+        "big",
+        "social network (largest; EGSM CT-index OOMs here at |L|=4)",
+        lambda: power_law_cluster(2200, 7, p_triangle=0.3, seed=22, name="friendster"),
+        PaperStats(65_608_366, 1_806_067_135, 55.1, 5214),
+        default_labels=4,
+        # Tuned so the CT-index arena overflows at |L|=4 but fits at |L|>=8
+        # (Table IV); see repro.baselines.egsm for the arena sizing rule.
+        device_memory=470 * 1024,
+    ),
+}
+
+#: Datasets in Table I order.
+MODERATE_DATASETS = [n for n, s in DATASETS.items() if s.category == "moderate"]
+BIG_DATASETS = [n for n, s in DATASETS.items() if s.category == "big"]
+
+
+def dataset_names(category: Optional[str] = None) -> list[str]:
+    """Names of all datasets, optionally filtered by category."""
+    if category is None:
+        return list(DATASETS)
+    if category not in ("moderate", "big"):
+        raise GraphError(f"unknown dataset category {category!r}")
+    return [n for n, s in DATASETS.items() if s.category == category]
+
+
+@lru_cache(maxsize=32)
+def load_dataset(name: str, num_labels: Optional[int] = None) -> CSRGraph:
+    """Load (and cache) a dataset stand-in by name.
+
+    ``num_labels`` overrides the spec's default label count; pass ``0`` to
+    force an unlabeled variant of a big graph.
+    """
+    if name not in DATASETS:
+        raise GraphError(
+            f"unknown dataset {name!r}; available: {', '.join(DATASETS)}"
+        )
+    spec = DATASETS[name]
+    if num_labels == 0:
+        return spec.generator()
+    return spec.load(num_labels)

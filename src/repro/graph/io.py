@@ -1,0 +1,81 @@
+"""Graph I/O: SNAP-style edge lists and a fast binary (npz) format.
+
+The paper's datasets come as SNAP edge lists; this module reads that format
+(``# comment`` lines, whitespace-separated endpoint pairs) plus an optional
+sidecar label file, and provides a compact ``.npz`` round-trip so the dataset
+stand-ins can be cached on disk.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.builder import from_edges
+from repro.graph.csr import CSRGraph
+
+
+def load_edge_list(
+    path: str | os.PathLike,
+    labels_path: Optional[str | os.PathLike] = None,
+    name: Optional[str] = None,
+) -> CSRGraph:
+    """Load a SNAP-style whitespace edge list.
+
+    Lines starting with ``#`` or ``%`` are comments.  Vertex ids need not be
+    contiguous; they are kept as-is (callers can compact separately).  The
+    optional label file has one integer label per line, one line per vertex.
+    """
+    edges: list[tuple[int, int]] = []
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line or line[0] in "#%":
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise GraphError(f"{path}:{lineno}: expected 'u v', got {line!r}")
+            edges.append((int(parts[0]), int(parts[1])))
+    labels = None
+    if labels_path is not None:
+        with open(labels_path) as f:
+            labels = [int(x) for x in f.read().split()]
+    return from_edges(
+        edges, labels=labels, name=name or os.path.basename(os.fspath(path))
+    )
+
+
+def save_edge_list(graph: CSRGraph, path: str | os.PathLike) -> None:
+    """Write each undirected edge once as ``u v`` lines with a header."""
+    with open(path, "w") as f:
+        f.write(f"# {graph.name}: |V|={graph.num_vertices} |E|={graph.num_edges}\n")
+        for u, v in graph.edges():
+            f.write(f"{u} {v}\n")
+
+
+def save_npz(graph: CSRGraph, path: str | os.PathLike) -> None:
+    """Save the CSR arrays (and labels, if any) to a compressed ``.npz``."""
+    payload = {
+        "row_ptr": graph.row_ptr,
+        "col_idx": graph.col_idx,
+        "name": np.array(graph.name),
+    }
+    if graph.labels is not None:
+        payload["labels"] = graph.labels
+    np.savez_compressed(os.fspath(path), **payload)
+
+
+def load_npz(path: str | os.PathLike) -> CSRGraph:
+    """Load a graph previously written by :func:`save_npz`."""
+    with np.load(os.fspath(path), allow_pickle=False) as data:
+        labels = data["labels"] if "labels" in data else None
+        return CSRGraph(
+            data["row_ptr"],
+            data["col_idx"],
+            labels=labels,
+            name=str(data["name"]),
+            validate=False,
+        )

@@ -1,0 +1,29 @@
+"""Query substrate: patterns, matching order, symmetry, and plans.
+
+A subgraph-matching job is compiled on the host (CPU) before the (simulated)
+kernel launches, exactly as in the paper: pick a matching order ``π``,
+compute backward neighbors ``B^π(u_i)``, derive symmetry-breaking constraints
+from the automorphism group, and precompute the intersection-reuse table.
+The result is a :class:`~repro.query.plan.MatchingPlan` shared by every
+engine.
+"""
+
+from repro.query.pattern import QueryGraph
+from repro.query.patterns import PATTERNS, get_pattern, pattern_names
+from repro.query.ordering import choose_matching_order
+from repro.query.symmetry import automorphisms, symmetry_breaking_constraints
+from repro.query.reuse import compute_reuse_plan
+from repro.query.plan import MatchingPlan, compile_plan
+
+__all__ = [
+    "QueryGraph",
+    "PATTERNS",
+    "get_pattern",
+    "pattern_names",
+    "choose_matching_order",
+    "automorphisms",
+    "symmetry_breaking_constraints",
+    "compute_reuse_plan",
+    "MatchingPlan",
+    "compile_plan",
+]

@@ -1,0 +1,144 @@
+"""The evaluation query patterns P1–P22 (paper Fig. 8).
+
+Fig. 8 in the paper is an image, so exact topologies are not in the text; the
+set below is reconstructed to satisfy every textual constraint:
+
+* P1 has 5 edges (Section IV-B: on Friendster "EGSM finishes for P1 and P12
+  ... since they only have 5 edges") — P1 is the 4-vertex *diamond*.
+* P8, P9, P10 are 6-node patterns (Table IV evaluates "some 6-node patterns,
+  P8–P10").
+* P8 and P11 dominate the runtime on YouTube/Pokec (Tables II–III), so they
+  are the *sparsest* 6-vertex patterns (cycles with few chords) whose low
+  selectivity explodes the search tree; denser patterns (cliques, octahedron)
+  are cheaper, matching the reported times.
+* P12–P22 share structures with P1–P11 and take ``label(u_i) = i mod 4``
+  (Section IV-A).
+
+These are the standard shapes used by PBE/VSGM-style evaluations: diamond,
+cliques, house, gem, wheel, cycles-with-chords, prism, octahedron.
+"""
+
+from __future__ import annotations
+
+from repro.errors import QueryError
+from repro.query.pattern import QueryGraph
+
+# Unlabeled structures P1–P11.  Each entry: (num_vertices, edges, description)
+_STRUCTURES: dict[str, tuple[int, list[tuple[int, int]], str]] = {
+    "P1": (
+        4,
+        [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)],
+        "diamond: two triangles sharing an edge (4v, 5e)",
+    ),
+    "P2": (
+        4,
+        [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
+        "4-clique (4v, 6e)",
+    ),
+    "P3": (
+        5,
+        [(0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (1, 4)],
+        "house: square with a roof apex (5v, 6e)",
+    ),
+    "P4": (
+        5,
+        [(0, 1), (1, 2), (2, 3), (4, 0), (4, 1), (4, 2), (4, 3)],
+        "gem: 4-path plus a dominating vertex (5v, 7e)",
+    ),
+    "P5": (
+        5,
+        [(0, 1), (1, 2), (2, 3), (3, 0), (4, 0), (4, 1), (4, 2), (4, 3)],
+        "wheel W4: 4-cycle plus hub (5v, 8e)",
+    ),
+    "P6": (
+        5,
+        [(0, 1), (0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4), (2, 3), (2, 4)],
+        "5-clique minus one edge (5v, 9e)",
+    ),
+    "P7": (
+        5,
+        [(i, j) for i in range(5) for j in range(i + 1, 5)],
+        "5-clique (5v, 10e)",
+    ),
+    "P8": (
+        6,
+        [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)],
+        "6-cycle (6v, 6e) — sparsest 6-node pattern, dominates runtime",
+    ),
+    "P9": (
+        6,
+        [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (0, 3), (1, 4), (2, 5)],
+        "triangular prism K3 x K2 (6v, 9e)",
+    ),
+    "P10": (
+        6,
+        [
+            (0, 1), (0, 2), (0, 3), (0, 4),
+            (1, 2), (1, 4), (1, 5),
+            (2, 3), (2, 5),
+            (3, 4), (3, 5),
+            (4, 5),
+        ],
+        "octahedron K2,2,2 (6v, 12e) — densest 6-node pattern, cheap",
+    ),
+    "P11": (
+        6,
+        [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 2), (3, 5)],
+        "6-cycle with two chords (6v, 8e) — second-most expensive",
+    ),
+}
+
+_NUM_QUERY_LABELS = 4
+
+
+def _build_patterns() -> dict[str, QueryGraph]:
+    patterns: dict[str, QueryGraph] = {}
+    for name, (k, edges, _desc) in _STRUCTURES.items():
+        patterns[name] = QueryGraph(k, edges, name=name)
+    # Labeled counterparts P12–P22: same structure, label(u_i) = i mod 4.
+    for idx, (name, (k, edges, _desc)) in enumerate(_STRUCTURES.items()):
+        lname = f"P{idx + 12}"
+        labels = [i % _NUM_QUERY_LABELS for i in range(k)]
+        patterns[lname] = QueryGraph(k, edges, labels=labels, name=lname)
+    return patterns
+
+
+#: All 22 evaluation patterns, keyed by name.
+PATTERNS: dict[str, QueryGraph] = _build_patterns()
+
+#: Unlabeled pattern names, in evaluation order.
+UNLABELED_PATTERNS = [f"P{i}" for i in range(1, 12)]
+
+#: Labeled pattern names.
+LABELED_PATTERNS = [f"P{i}" for i in range(12, 23)]
+
+
+def pattern_names(labeled: bool | None = None) -> list[str]:
+    """Names of the evaluation patterns.
+
+    ``labeled=None`` returns all 22; ``True``/``False`` filters.
+    """
+    if labeled is None:
+        return UNLABELED_PATTERNS + LABELED_PATTERNS
+    return LABELED_PATTERNS if labeled else UNLABELED_PATTERNS
+
+
+def get_pattern(name: str) -> QueryGraph:
+    """Look up a pattern by name (``"P1"`` … ``"P22"``)."""
+    if name not in PATTERNS:
+        raise QueryError(
+            f"unknown pattern {name!r}; available: {', '.join(PATTERNS)}"
+        )
+    return PATTERNS[name]
+
+
+def pattern_description(name: str) -> str:
+    """Human-readable structure description for a pattern name."""
+    base = name
+    idx = int(name[1:])
+    if idx >= 12:
+        base = f"P{idx - 11}"
+    desc = _STRUCTURES[base][2]
+    if idx >= 12:
+        desc += " [labeled: label(u_i) = i mod 4]"
+    return desc

@@ -1,0 +1,94 @@
+"""Random connected query patterns for fuzzing and property tests.
+
+The evaluation patterns P1–P22 are fixed; downstream users (and this
+repository's own property tests) also need arbitrary patterns.  This module
+generates seeded random connected query graphs with controllable density
+and optional labels, guaranteeing the invariants the planner needs
+(connected, simple, small).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.errors import QueryError
+from repro.query.pattern import QueryGraph
+
+
+def random_query(
+    num_vertices: int,
+    extra_edge_prob: float = 0.3,
+    num_labels: Optional[int] = None,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> QueryGraph:
+    """A random connected query pattern.
+
+    Construction: a random spanning tree (guaranteeing connectivity)
+    plus each non-tree edge independently with ``extra_edge_prob``.
+
+    >>> q = random_query(5, extra_edge_prob=0.5, seed=1)
+    >>> q.num_vertices
+    5
+    >>> q.num_edges >= 4   # at least the spanning tree
+    True
+    """
+    if num_vertices < 2:
+        raise QueryError("random_query needs at least 2 vertices")
+    if not 0.0 <= extra_edge_prob <= 1.0:
+        raise QueryError("extra_edge_prob must be in [0, 1]")
+    rng = random.Random(seed)
+    edges: set[tuple[int, int]] = set()
+    # Random spanning tree: attach each vertex to a random earlier one.
+    for v in range(1, num_vertices):
+        u = rng.randrange(v)
+        edges.add((u, v))
+    for u in range(num_vertices):
+        for v in range(u + 1, num_vertices):
+            if (u, v) not in edges and rng.random() < extra_edge_prob:
+                edges.add((u, v))
+    labels = None
+    if num_labels is not None:
+        if num_labels < 1:
+            raise QueryError("num_labels must be >= 1")
+        labels = [rng.randrange(num_labels) for _ in range(num_vertices)]
+    return QueryGraph(
+        num_vertices,
+        sorted(edges),
+        labels=labels,
+        name=name or f"rand-k{num_vertices}-s{seed}",
+    )
+
+
+def random_clique_like(
+    num_vertices: int, drop_edges: int, seed: int = 0
+) -> QueryGraph:
+    """A near-clique: ``K_n`` minus ``drop_edges`` random edges (connected).
+
+    Dense patterns stress the symmetry-breaking machinery — near-cliques
+    have large automorphism groups.
+    """
+    if num_vertices < 2:
+        raise QueryError("need at least 2 vertices")
+    all_edges = [
+        (u, v)
+        for u in range(num_vertices)
+        for v in range(u + 1, num_vertices)
+    ]
+    max_droppable = len(all_edges) - (num_vertices - 1)
+    if drop_edges > max_droppable:
+        raise QueryError(
+            f"dropping {drop_edges} edges can disconnect a {num_vertices}-clique"
+        )
+    rng = random.Random(seed)
+    for _ in range(200):
+        dropped = set(rng.sample(all_edges, drop_edges))
+        kept = [e for e in all_edges if e not in dropped]
+        try:
+            return QueryGraph(
+                num_vertices, kept, name=f"nearclique-k{num_vertices}-s{seed}"
+            )
+        except QueryError:
+            continue  # disconnected sample; retry
+    raise QueryError("failed to sample a connected near-clique")

@@ -1,0 +1,95 @@
+"""Set-intersection result reuse (paper Section III, Fig. 7).
+
+When the backward-neighbor set of an earlier position is a subset of a later
+position's, the earlier position's stored candidate set *is* the partial
+intersection, so the later one can be computed as ``stack[i] ∩ (remaining
+neighbor lists)`` instead of from scratch.
+
+The plan is computed on the host once per query ("the cost of which is
+negligible as G_Q is small").  For soundness, engines store the *raw*
+intersection in each stack level and apply injectivity/symmetry checks only
+at candidate-selection time, so a reused level never carries another
+position's filters (see ``repro.core.candidates``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.query.ordering import backward_neighbors
+from repro.query.pattern import QueryGraph
+
+
+@dataclass(frozen=True)
+class ReuseEntry:
+    """Reuse recipe for one order position.
+
+    ``source`` is the earlier position whose stored candidates seed the
+    intersection (or ``-1`` to compute from scratch); ``remaining`` lists the
+    backward positions whose adjacency still must be intersected in.
+    """
+
+    source: int
+    remaining: tuple[int, ...]
+
+    @property
+    def reuses(self) -> bool:
+        return self.source >= 0
+
+
+def compute_reuse_plan(
+    query: QueryGraph, order: Sequence[int]
+) -> list[ReuseEntry]:
+    """One :class:`ReuseEntry` per order position.
+
+    For position ``j`` we pick the earlier position ``i < j`` with
+    ``B(i) ⊆ B(j)`` maximizing ``|B(i)|`` (the most work saved), requiring
+    ``|B(i)| >= 2`` — reusing a single adjacency list saves nothing over
+    reading it directly.
+
+    Because stack levels store candidates already filtered by the
+    position's *static* predicates (label equality and minimum degree —
+    the paper filters "candidates based on their labels during subgraph
+    extension"), reuse additionally requires ``label(u_i) == label(u_j)``
+    and ``degree(u_i) <= degree(u_j)``: otherwise the source level has
+    dropped vertices the target still needs.  This is why the paper finds
+    reuse most effective when all query vertices share one label.
+
+    >>> from repro.query.patterns import get_pattern
+    >>> from repro.query.ordering import choose_matching_order
+    >>> q = get_pattern("P2")
+    >>> plan = compute_reuse_plan(q, choose_matching_order(q))
+    >>> plan[0].reuses
+    False
+    """
+    back = backward_neighbors(query, order)
+    back_sets = [frozenset(b) for b in back]
+    plan: list[ReuseEntry] = []
+    for j in range(len(order)):
+        best = -1
+        best_size = 1  # require at least 2 backward neighbors to reuse
+        for i in range(j):
+            if (
+                len(back_sets[i]) > best_size
+                and back_sets[i] <= back_sets[j]
+                and query.label(order[i]) == query.label(order[j])
+                and query.degree(order[i]) <= query.degree(order[j])
+            ):
+                best, best_size = i, len(back_sets[i])
+        if best >= 0:
+            remaining = tuple(sorted(back_sets[j] - back_sets[best]))
+        else:
+            remaining = tuple(back[j])
+        plan.append(ReuseEntry(source=best, remaining=remaining))
+    return plan
+
+
+def reuse_savings(plan: Sequence[ReuseEntry]) -> int:
+    """Number of adjacency-list intersections avoided by the plan."""
+    saved = 0
+    for entry in plan:
+        if entry.reuses:
+            # Reuse replaces |B(source)| list reads with one stored-set read.
+            saved += 1
+    return saved

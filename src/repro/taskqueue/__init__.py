@@ -1,0 +1,6 @@
+"""The lock-free circular task queue ``Q_task`` (paper Algorithm 3)."""
+
+from repro.taskqueue.tasks import Task, EMPTY, PLACEHOLDER
+from repro.taskqueue.ring import LockFreeTaskQueue
+
+__all__ = ["Task", "EMPTY", "PLACEHOLDER", "LockFreeTaskQueue"]

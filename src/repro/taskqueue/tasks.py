@@ -1,0 +1,42 @@
+"""Task encoding for ``Q_task``.
+
+Following the "StopLevel" design (paper Section III), decomposed tasks carry
+at most three matched vertices ``⟨v_i1, v_i2, v_i3⟩``.  Two-vertex tasks
+(an edge, the shape of initial tasks) are stored as ``⟨v_i1, v_i2, -2⟩``
+where ``-2`` is the placeholder; ``-1`` marks an empty ring slot.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+#: Ring-slot value meaning "empty" (Algorithm 3 initializes all slots to -1).
+EMPTY = -1
+
+#: Third-component placeholder for two-vertex tasks.
+PLACEHOLDER = -2
+
+
+class Task(NamedTuple):
+    """A decomposed search task: a 2- or 3-vertex matched prefix."""
+
+    v1: int
+    v2: int
+    v3: int = PLACEHOLDER
+
+    @property
+    def depth(self) -> int:
+        """Number of matched vertices in this task (2 or 3)."""
+        return 2 if self.v3 == PLACEHOLDER else 3
+
+    @classmethod
+    def edge(cls, v1: int, v2: int) -> "Task":
+        """A two-vertex task (matched prefix = one data edge)."""
+        return cls(v1, v2, PLACEHOLDER)
+
+    def validate(self) -> None:
+        """Sanity-check the encoding (vertex ids must be non-negative)."""
+        if self.v1 < 0 or self.v2 < 0:
+            raise ValueError(f"invalid task vertices: {self}")
+        if self.v3 < 0 and self.v3 != PLACEHOLDER:
+            raise ValueError(f"invalid third component: {self}")

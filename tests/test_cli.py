@@ -1,0 +1,97 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_requires_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--pattern", "P1"])
+
+    def test_run_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--dataset", "twitter", "--pattern", "P1"]
+            )
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "youtube" in out
+        assert "friendster" in out
+
+    def test_patterns(self, capsys):
+        assert main(["patterns"]) == 0
+        out = capsys.readouterr().out
+        assert "P1" in out and "P22" in out
+        assert "diamond" in out
+
+    def test_plan(self, capsys):
+        assert main(["plan", "P2"]) == 0
+        out = capsys.readouterr().out
+        assert "|Aut| = 24" in out
+
+    def test_plan_unknown_pattern(self, capsys):
+        assert main(["plan", "P99"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_run_basic(self, capsys):
+        code = main(
+            ["run", "--dataset", "dblp", "--pattern", "P1", "--warps", "8"]
+        )
+        assert code == 0
+        assert "matches" in capsys.readouterr().out
+
+    def test_run_verbose(self, capsys):
+        code = main(
+            ["run", "--dataset", "dblp", "--pattern", "P1",
+             "--warps", "8", "-v"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "embeddings" in out
+        assert "stack bytes" in out
+
+    def test_run_engines(self, capsys):
+        for engine in ("cpu", "pbe", "hybrid"):
+            code = main(
+                ["run", "--dataset", "dblp", "--pattern", "P1",
+                 "--engine", engine, "--warps", "8"]
+            )
+            assert code == 0, engine
+
+    def test_run_strategy_and_tau(self, capsys):
+        code = main(
+            ["run", "--dataset", "dblp", "--pattern", "P1",
+             "--strategy", "none", "--warps", "8"]
+        )
+        assert code == 0
+        code = main(
+            ["run", "--dataset", "dblp", "--pattern", "P1",
+             "--tau-us", "5", "--warps", "8"]
+        )
+        assert code == 0
+
+    def test_run_labels_override(self, capsys):
+        code = main(
+            ["run", "--dataset", "friendster", "--pattern", "P12",
+             "--labels", "4", "--warps", "8"]
+        )
+        assert code == 0
+
+    def test_run_failure_exit_code(self, capsys):
+        # EGSM on friendster at |L|=4 OOMs (Table IV) → exit code 1.
+        code = main(
+            ["run", "--dataset", "friendster", "--pattern", "P8",
+             "--engine", "egsm", "--labels", "4"]
+        )
+        assert code == 1
+        assert "OOM" in capsys.readouterr().out

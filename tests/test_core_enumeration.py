@@ -1,0 +1,73 @@
+"""Tests for match enumeration (collect_matches) across engines."""
+
+import pytest
+
+from repro import TDFSConfig
+from repro.baselines.cpu import cpu_count
+from repro.core.engine import TDFSEngine
+from repro.query.patterns import get_pattern
+from repro.query.plan import compile_plan
+
+FAST = TDFSConfig(num_warps=8)
+
+
+def cpu_embeddings(graph, plan):
+    """Ground-truth embeddings re-indexed by query vertex id."""
+    found = []
+    cpu_count(graph, plan, collect=found)
+    k = plan.num_levels
+    return {
+        tuple(m[plan.position_of(u)] for u in range(k)) for m in found
+    }
+
+
+class TestEnumeration:
+    def test_matches_none_by_default(self, small_plc):
+        result = TDFSEngine(FAST).run(small_plc, get_pattern("P1"))
+        assert result.matches is None
+
+    @pytest.mark.parametrize("pattern", ["P1", "P2", "P3"])
+    def test_exact_embedding_sets(self, small_plc, pattern):
+        plan = compile_plan(get_pattern(pattern))
+        expect = cpu_embeddings(small_plc, plan)
+        result = TDFSEngine(FAST).run(
+            small_plc, plan, collect_matches=10**6
+        )
+        assert result.count == len(expect)
+        assert set(result.matches) == expect
+
+    def test_limit_respected(self, small_plc):
+        result = TDFSEngine(FAST).run(
+            small_plc, get_pattern("P1"), collect_matches=5
+        )
+        assert len(result.matches) == 5
+        assert result.count > 5  # counting continues past the cap
+
+    def test_matches_are_real_embeddings(self, small_plc):
+        query = get_pattern("P3")
+        result = TDFSEngine(FAST).run(small_plc, query, collect_matches=50)
+        for m in result.matches:
+            assert len(set(m)) == query.num_vertices  # injective
+            for u, v in query.edges():
+                assert small_plc.has_edge(m[u], m[v])  # edges preserved
+
+    def test_labeled_matches_respect_labels(self, labeled_plc):
+        query = get_pattern("P12")
+        result = TDFSEngine(FAST).run(labeled_plc, query, collect_matches=50)
+        for m in result.matches:
+            for u in range(query.num_vertices):
+                assert labeled_plc.label(m[u]) == query.label(u)
+
+    def test_multi_gpu_enumeration(self, small_plc):
+        plan = compile_plan(get_pattern("P1"))
+        expect = cpu_embeddings(small_plc, plan)
+        cfg = FAST.replace(num_gpus=3)
+        result = TDFSEngine(cfg).run(small_plc, plan, collect_matches=10**6)
+        assert set(result.matches) == expect
+
+    def test_enumeration_under_timeout_decomposition(self, skewed_graph):
+        plan = compile_plan(get_pattern("P3"))
+        expect = cpu_embeddings(skewed_graph, plan)
+        cfg = FAST.replace(tau_cycles=300)  # force heavy decomposition
+        result = TDFSEngine(cfg).run(skewed_graph, plan, collect_matches=10**6)
+        assert set(result.matches) == expect

@@ -1,0 +1,85 @@
+"""Tests for the hybrid BFS-DFS engine (the paper's future work)."""
+
+import pytest
+
+from repro import TDFSConfig, match
+from repro.baselines.cpu import cpu_count
+from repro.core.engine import TDFSEngine
+from repro.core.hybrid import HybridEngine
+from repro.query.patterns import get_pattern
+from repro.query.plan import compile_plan
+
+FAST = TDFSConfig(num_warps=8)
+
+
+class TestHybridEngine:
+    @pytest.mark.parametrize("pattern", ["P1", "P2", "P3", "P5", "P9"])
+    def test_counts_match_tdfs(self, small_plc, pattern):
+        plan = compile_plan(get_pattern(pattern))
+        expect = cpu_count(small_plc, plan)
+        result = HybridEngine(FAST).run(small_plc, plan)
+        assert result.count == expect
+
+    def test_counts_on_skewed_graph(self, skewed_graph):
+        plan = compile_plan(get_pattern("P3"))
+        expect = cpu_count(skewed_graph, plan)
+        assert HybridEngine(FAST).run(skewed_graph, plan).count == expect
+
+    def test_labeled(self, labeled_plc):
+        plan = compile_plan(get_pattern("P12"))
+        expect = cpu_count(labeled_plc, plan)
+        assert HybridEngine(FAST).run(labeled_plc, plan).count == expect
+
+    def test_bfs_phase_runs_with_generous_budget(self, small_plc):
+        engine = HybridEngine(FAST, bfs_fraction=0.9)
+        engine.run(small_plc, get_pattern("P3"))
+        assert engine.bfs_levels_run >= 1
+
+    def test_bfs_phase_skipped_with_tiny_budget(self, small_plc):
+        engine = HybridEngine(FAST, bfs_fraction=0.0001)
+        plan = compile_plan(get_pattern("P3"))
+        expect = cpu_count(small_plc, plan)
+        result = engine.run(small_plc, plan)
+        assert engine.bfs_levels_run == 0  # degenerates to pure T-DFS
+        assert result.count == expect
+
+    def test_registered_in_match(self, small_plc):
+        plan = compile_plan(get_pattern("P1"))
+        expect = cpu_count(small_plc, plan)
+        assert match(small_plc, "P1", engine="hybrid", config=FAST).count == expect
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            HybridEngine(FAST, bfs_fraction=1.5)
+
+    def test_enumeration_through_hybrid(self, small_plc):
+        plan = compile_plan(get_pattern("P1"))
+        found = []
+        cpu_count(small_plc, plan, collect=found)
+        expect = {
+            tuple(m[plan.position_of(u)] for u in range(plan.num_levels))
+            for m in found
+        }
+        result = HybridEngine(FAST, bfs_fraction=0.9).run(
+            small_plc, plan, collect_matches=10**6
+        )
+        assert set(result.matches) == expect
+
+    def test_deep_prefixes_reach_dfs(self, small_plc):
+        # With a generous budget on a 5-vertex pattern the DFS should start
+        # from width-3+ prefixes; counts must still be exact.
+        engine = HybridEngine(FAST, bfs_fraction=0.9)
+        plan = compile_plan(get_pattern("P7"))
+        expect = cpu_count(small_plc, plan)
+        result = engine.run(small_plc, plan)
+        assert result.count == expect
+
+
+class TestPrefixWidthGeneralization:
+    def test_width2_equals_default(self, small_plc):
+        # The generalized chunk loop must reproduce the edge pipeline.
+        plan = compile_plan(get_pattern("P3"))
+        a = TDFSEngine(FAST).run(small_plc, plan)
+        b = TDFSEngine(FAST).run(small_plc, plan)
+        assert a.count == b.count
+        assert a.elapsed_cycles == b.elapsed_cycles  # deterministic

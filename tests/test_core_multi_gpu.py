@@ -1,0 +1,70 @@
+"""Tests for multi-GPU round-robin scale-out (paper Fig. 12)."""
+
+import pytest
+
+from repro import TDFSConfig
+from repro.baselines.cpu import cpu_count
+from repro.core.engine import TDFSEngine
+from repro.core.multi_gpu import merge_results
+from repro.core.result import MatchResult
+from repro.query.patterns import get_pattern
+from repro.query.plan import compile_plan
+
+
+def run_gpus(graph, pattern, n):
+    cfg = TDFSConfig(num_warps=8, num_gpus=n)
+    return TDFSEngine(cfg).run(graph, get_pattern(pattern))
+
+
+class TestMultiGPU:
+    @pytest.mark.parametrize("n", [1, 2, 4])
+    def test_counts_independent_of_gpu_count(self, small_plc, n):
+        plan = compile_plan(get_pattern("P3"))
+        expect = cpu_count(small_plc, plan)
+        assert run_gpus(small_plc, "P3", n).count == expect
+
+    def test_speedup_with_more_gpus(self, small_plc):
+        one = run_gpus(small_plc, "P3", 1)
+        four = run_gpus(small_plc, "P3", 4)
+        assert four.elapsed_cycles < one.elapsed_cycles
+        # Round-robin should scale well (paper: "ideal speedup"); allow
+        # generous slack for the small test graph.
+        speedup = one.elapsed_cycles / four.elapsed_cycles
+        assert speedup > 1.8
+
+    def test_num_gpus_recorded(self, small_plc):
+        assert run_gpus(small_plc, "P1", 2).num_gpus == 2
+
+    def test_labeled_multi_gpu(self, labeled_plc):
+        cfg = TDFSConfig(num_warps=8, num_gpus=2)
+        plan = compile_plan(get_pattern("P12"))
+        expect = cpu_count(labeled_plc, plan)
+        assert TDFSEngine(cfg).run(labeled_plc, plan).count == expect
+
+
+class TestMergeResults:
+    def _mk(self, count, elapsed, error=None):
+        r = MatchResult(
+            engine="tdfs",
+            graph_name="g",
+            query_name="q",
+            count=count,
+            elapsed_cycles=elapsed,
+        )
+        r.error = error
+        return r
+
+    def test_counts_sum_elapsed_max(self):
+        merged = merge_results([self._mk(5, 100), self._mk(7, 250)], 2)
+        assert merged.count == 12
+        assert merged.elapsed_cycles == 250
+        assert merged.num_gpus == 2
+
+    def test_error_propagates(self):
+        merged = merge_results([self._mk(5, 100), self._mk(0, 10, "OOM")], 2)
+        assert merged.error == "OOM"
+
+    def test_overflow_propagates(self):
+        a, b = self._mk(1, 1), self._mk(1, 1)
+        b.overflowed = True
+        assert merge_results([a, b], 2).overflowed

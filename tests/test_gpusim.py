@@ -1,0 +1,219 @@
+"""Unit tests for the virtual-GPU substrate: atomics, scheduler, memory."""
+
+import pytest
+
+from repro.errors import DeviceError, DeviceOOMError
+from repro.gpusim.atomics import AtomicInt, AtomicIntArray
+from repro.gpusim.costmodel import CYCLES_PER_MS, CostModel
+from repro.gpusim.device import VirtualGPU, Warp
+from repro.gpusim.memory import DeviceMemory
+from repro.gpusim.scheduler import Scheduler
+
+
+class TestAtomics:
+    def test_add_returns_old(self):
+        a = AtomicInt(5)
+        assert a.add(3) == 5
+        assert a.load() == 8
+
+    def test_sub_returns_old(self):
+        a = AtomicInt(5)
+        assert a.sub(2) == 5
+        assert a.load() == 3
+
+    def test_cas_success(self):
+        a = AtomicInt(7)
+        assert a.cas(7, 9) == 7
+        assert a.load() == 9
+
+    def test_cas_failure(self):
+        a = AtomicInt(7)
+        assert a.cas(5, 9) == 7
+        assert a.load() == 7
+
+    def test_exch(self):
+        a = AtomicInt(1)
+        assert a.exch(2) == 1
+        assert a.load() == 2
+
+    def test_array_ops(self):
+        arr = AtomicIntArray(3, fill=-1)
+        assert arr.cas(0, -1, 42) == -1
+        assert arr.exch(0, -1) == 42
+        assert arr.snapshot() == [-1, -1, -1]
+
+
+class TestScheduler:
+    def test_runs_in_time_order(self):
+        sched = Scheduler()
+        log = []
+
+        class Ctx:
+            def __init__(self, name):
+                self.name = name
+
+            def _on_resume(self, t):
+                pass
+
+        def body(name, costs):
+            for c in costs:
+                log.append(name)
+                yield c
+
+        sched.spawn(Ctx("slow"), body("slow", [100, 100]))
+        sched.spawn(Ctx("fast"), body("fast", [10, 10, 10]))
+        end = sched.run()
+        # fast's second step (t=10) precedes slow's second step (t=100).
+        assert log[:2] == ["slow", "fast"]  # both start at t=0
+        assert log.index("fast", 2) < len(log)
+        assert end == 200
+
+    def test_spawn_during_run(self):
+        sched = Scheduler()
+        seen = []
+
+        class Ctx:
+            def _on_resume(self, t):
+                pass
+
+        def child():
+            seen.append("child")
+            yield 1
+
+        def parent():
+            yield 5
+            sched.spawn(Ctx(), child(), at=sched.now + 100)
+            yield 1
+
+        sched.spawn(Ctx(), parent())
+        sched.run()
+        assert seen == ["child"]
+
+    def test_livelock_guard(self):
+        sched = Scheduler()
+
+        class Ctx:
+            def _on_resume(self, t):
+                pass
+
+        def forever():
+            while True:
+                yield 1
+
+        sched.spawn(Ctx(), forever())
+        with pytest.raises(DeviceError):
+            sched.run(max_events=100)
+
+
+class TestWarpContext:
+    def test_now_includes_accrued(self):
+        gpu = VirtualGPU(num_warps=1)
+        warp = Warp(gpu, 0)
+        warp._on_resume(1000)
+        warp.charge(50)
+        assert warp.now == 1050
+
+    def test_sync_resets(self):
+        warp = Warp(VirtualGPU(num_warps=1), 0)
+        warp.charge(30)
+        assert warp.sync() == 30
+        assert warp.sync() == 0
+
+    def test_busy_idle_accounting(self):
+        warp = Warp(VirtualGPU(num_warps=1), 0)
+        warp.charge(30, busy=True)
+        warp.charge(20, busy=False)
+        assert warp.stats.busy_cycles == 30
+        assert warp.stats.idle_cycles == 20
+
+
+class TestVirtualGPU:
+    def test_launch_and_run(self):
+        gpu = VirtualGPU(num_warps=4)
+
+        def body(warp):
+            warp.charge(100)
+            yield warp.sync()
+            gpu.note_work_done(warp.now)
+
+        gpu.launch(body)
+        gpu.run()
+        assert gpu.finish_time == 100
+        assert gpu.elapsed_ms == pytest.approx(100 / CYCLES_PER_MS)
+
+    def test_load_imbalance(self):
+        gpu = VirtualGPU(num_warps=2)
+
+        def body(warp):
+            warp.charge(100 if warp.wid == 0 else 300)
+            yield warp.sync()
+
+        gpu.launch(body)
+        gpu.run()
+        assert gpu.load_imbalance() == pytest.approx(300 / 200)
+
+    def test_total_stats_aggregates(self):
+        gpu = VirtualGPU(num_warps=3)
+
+        def body(warp):
+            warp.stats.matches += warp.wid
+            warp.charge(10)
+            yield warp.sync()
+
+        gpu.launch(body)
+        gpu.run()
+        assert gpu.total_stats().matches == 0 + 1 + 2
+
+
+class TestDeviceMemory:
+    def test_allocate_release(self):
+        mem = DeviceMemory(capacity=1000)
+        h = mem.allocate(400, tag="x")
+        assert mem.used == 400
+        mem.release(h)
+        assert mem.used == 0
+        assert mem.peak == 400
+
+    def test_oom(self):
+        mem = DeviceMemory(capacity=100)
+        with pytest.raises(DeviceOOMError) as exc:
+            mem.allocate(200, tag="big")
+        assert exc.value.requested == 200
+        assert not mem.allocations
+
+    def test_usage_by_tag(self):
+        mem = DeviceMemory(capacity=1000)
+        mem.allocate(100, tag="a")
+        mem.allocate(200, tag="a")
+        mem.allocate(300, tag="b")
+        assert mem.usage_by_tag() == {"a": 300, "b": 300}
+
+    def test_would_fit(self):
+        mem = DeviceMemory(capacity=100)
+        assert mem.would_fit(100)
+        mem.allocate(60)
+        assert not mem.would_fit(50)
+
+
+class TestCostModel:
+    def test_intersect_scales_with_a(self):
+        c = CostModel()
+        assert c.intersect_cost(64, 100) > c.intersect_cost(32, 100)
+
+    def test_intersect_scales_with_log_b(self):
+        c = CostModel()
+        assert c.intersect_cost(32, 10_000) > c.intersect_cost(32, 10)
+
+    def test_memory_multiplier(self):
+        c = CostModel()
+        c3 = c.with_memory_multiplier(3.0)
+        assert c3.intersect_cost(64, 64) > c.intersect_cost(64, 64)
+        assert c3.copy_cost(64) > c.copy_cost(64)
+
+    def test_empty_intersection_cheap(self):
+        c = CostModel()
+        assert c.intersect_cost(0, 100) == c.step
+
+    def test_alloc_cost_per_kb(self):
+        c = CostModel()
+        assert c.alloc_cost(10 * 1024) == 10 * c.big_alloc_per_kb

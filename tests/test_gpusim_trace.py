@@ -1,0 +1,105 @@
+"""Tests for the per-warp timeline tracing and its diagnostics."""
+
+import pytest
+
+from repro import StackMode, Strategy, TDFSConfig, match, get_pattern
+from repro.core.engine import TDFSEngine
+from repro.gpusim.trace import Segment, TraceRecorder, merge
+from repro.query.plan import compile_plan
+
+
+class TestRecorder:
+    def test_record_and_makespan(self):
+        rec = TraceRecorder()
+        rec.record(0, 0, 100, True)
+        rec.record(1, 50, 200, True)
+        assert rec.makespan() == 250
+        assert rec.busy_cycles() == 300
+        assert rec.busy_cycles(warp_id=1) == 200
+
+    def test_zero_cycles_ignored(self):
+        rec = TraceRecorder()
+        rec.record(0, 10, 0, True)
+        assert not rec.segments
+
+    def test_utilization(self):
+        rec = TraceRecorder()
+        rec.record(0, 0, 100, True)
+        rec.record(1, 0, 50, True)
+        rec.record(1, 50, 50, False)
+        assert rec.utilization(2) == pytest.approx(150 / 200)
+
+    def test_empty_recorder(self):
+        rec = TraceRecorder()
+        assert rec.makespan() == 0
+        assert rec.utilization(4) == 0.0
+        assert rec.straggler_tail(4) == 0.0
+        assert rec.ascii_timeline(4) == "(no activity)"
+
+    def test_straggler_tail_detects_lone_warp(self):
+        rec = TraceRecorder()
+        for w in range(8):
+            rec.record(w, 0, 100, True)
+        rec.record(0, 100, 900, True)  # one warp runs 9x longer
+        assert rec.straggler_tail(8) > 0.5
+
+    def test_ascii_timeline_marks(self):
+        rec = TraceRecorder()
+        rec.record(0, 0, 100, True)
+        rec.record(1, 0, 100, False)
+        art = rec.ascii_timeline(2, width=20)
+        assert "#" in art and "." in art
+
+    def test_merge(self):
+        a, b = TraceRecorder(), TraceRecorder()
+        a.record(0, 0, 10, True)
+        b.record(1, 0, 20, True)
+        assert merge([a, b]).busy_cycles() == 30
+
+    def test_segment_cycles(self):
+        assert Segment(0, 10, 25, True).cycles == 15
+
+
+class TestEngineTracing:
+    def test_off_by_default(self, small_plc):
+        result = match(small_plc, get_pattern("P1"),
+                       config=TDFSConfig(num_warps=4))
+        assert result.trace is None
+
+    def test_trace_collected(self, small_plc):
+        result = match(small_plc, get_pattern("P3"),
+                       config=TDFSConfig(num_warps=4, trace=True))
+        assert result.trace is not None
+        assert result.trace.busy_cycles() == result.busy_cycles
+        assert result.trace.makespan() <= result.elapsed_cycles * 1.01 + 10_000
+
+    def test_tracing_does_not_change_results(self, small_plc):
+        plan = compile_plan(get_pattern("P3"))
+        plain = TDFSEngine(TDFSConfig(num_warps=4)).run(small_plc, plan)
+        traced = TDFSEngine(TDFSConfig(num_warps=4, trace=True)).run(
+            small_plc, plan
+        )
+        assert plain.count == traced.count
+        assert plain.elapsed_cycles == traced.elapsed_cycles
+
+    def test_no_steal_shows_longer_tail(self, straggler_graph):
+        cfg = TDFSConfig(num_warps=8, trace=True)
+        steal = match(straggler_graph, get_pattern("P3"), config=cfg)
+        none = match(straggler_graph, get_pattern("P3"),
+                     config=cfg.with_strategy(Strategy.NONE))
+        assert none.trace.straggler_tail(8) > steal.trace.straggler_tail(8)
+
+
+class TestPagedEqualsArrayExactly:
+    def test_enumerated_embeddings_identical(self, skewed_graph):
+        # DESIGN.md promise: paged and array stacks produce the same
+        # results element for element, not just the same counts.
+        plan = compile_plan(get_pattern("P3"))
+        paged = TDFSEngine(TDFSConfig(num_warps=8)).run(
+            skewed_graph, plan, collect_matches=10**6
+        )
+        arr = TDFSEngine(
+            TDFSConfig(num_warps=8, stack_mode=StackMode.ARRAY_DMAX)
+        ).run(skewed_graph, plan, collect_matches=10**6)
+        assert set(paged.matches) == set(arr.matches)
+        assert paged.count == arr.count == len(set(paged.matches))

@@ -1,0 +1,90 @@
+"""Unit tests for graph builders and label assignment."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.builder import GraphBuilder, from_edges, relabel_random
+
+
+class TestFromEdges:
+    def test_dedup_parallel_edges(self):
+        g = from_edges([(0, 1), (1, 0), (0, 1)])
+        assert g.num_edges == 1
+
+    def test_drops_self_loops(self):
+        g = from_edges([(0, 0), (0, 1), (2, 2)])
+        assert g.num_edges == 1
+        assert g.num_vertices == 3
+
+    def test_rejects_negative_ids(self):
+        with pytest.raises(GraphError):
+            from_edges([(-1, 2)])
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(GraphError):
+            from_edges(np.array([[1, 2, 3]]))
+
+    def test_num_vertices_too_small(self):
+        with pytest.raises(GraphError):
+            from_edges([(0, 5)], num_vertices=3)
+
+    def test_numpy_input(self):
+        arr = np.array([[0, 1], [1, 2], [2, 3]])
+        g = from_edges(arr)
+        assert g.num_edges == 3
+
+    def test_adjacency_sorted_after_build(self):
+        g = from_edges([(3, 0), (1, 0), (2, 0)])
+        assert list(g.neighbors(0)) == [1, 2, 3]
+
+    def test_labels_attached(self):
+        g = from_edges([(0, 1)], labels=[5, 7])
+        assert g.label(0) == 5 and g.label(1) == 7
+
+    def test_labels_wrong_length(self):
+        with pytest.raises(GraphError):
+            from_edges([(0, 1)], labels=[1])
+
+
+class TestGraphBuilder:
+    def test_incremental(self):
+        g = GraphBuilder().add_edge(0, 1).add_edge(1, 2).build()
+        assert g.num_edges == 2
+
+    def test_add_edges_bulk(self):
+        g = GraphBuilder().add_edges([(0, 1), (1, 2), (2, 0)]).build()
+        assert g.num_edges == 3
+
+    def test_named(self):
+        g = GraphBuilder(name="mine").add_edge(0, 1).build()
+        assert g.name == "mine"
+
+    def test_set_labels(self):
+        g = GraphBuilder().add_edge(0, 1).set_labels([3, 4]).build()
+        assert g.label(1) == 4
+
+    def test_explicit_vertex_count(self):
+        g = GraphBuilder(num_vertices=10).add_edge(0, 1).build()
+        assert g.num_vertices == 10
+
+
+class TestRelabelRandom:
+    def test_deterministic(self, small_plc):
+        a = relabel_random(small_plc, 4, seed=1)
+        b = relabel_random(small_plc, 4, seed=1)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_label_range(self, small_plc):
+        g = relabel_random(small_plc, 4, seed=2)
+        assert g.labels.min() >= 0
+        assert g.labels.max() < 4
+
+    def test_structure_preserved(self, small_plc):
+        g = relabel_random(small_plc, 8, seed=3)
+        assert g.num_edges == small_plc.num_edges
+        assert np.array_equal(g.col_idx, small_plc.col_idx)
+
+    def test_rejects_zero_labels(self, small_plc):
+        with pytest.raises(GraphError):
+            relabel_random(small_plc, 0)

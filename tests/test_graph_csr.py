@@ -1,0 +1,123 @@
+"""Unit tests for the CSR graph representation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.builder import from_edges
+from repro.graph.csr import CSRGraph
+
+
+class TestConstruction:
+    def test_basic_properties(self, triangle):
+        assert triangle.num_vertices == 3
+        assert triangle.num_edges == 3
+        assert triangle.num_directed_edges == 6
+        assert triangle.max_degree == 2
+        assert triangle.avg_degree == pytest.approx(2.0)
+
+    def test_empty_graph(self):
+        g = from_edges([], num_vertices=5)
+        assert g.num_vertices == 5
+        assert g.num_edges == 0
+        assert g.max_degree == 0
+        assert g.avg_degree == 0.0
+
+    def test_isolated_vertices_allowed(self):
+        g = from_edges([(0, 1)], num_vertices=4)
+        assert g.num_vertices == 4
+        assert g.degree(2) == 0
+        assert g.degree(3) == 0
+
+    def test_validation_rejects_bad_row_ptr(self):
+        with pytest.raises(GraphError):
+            CSRGraph(np.array([1, 2]), np.array([0, 1], dtype=np.int32))
+
+    def test_validation_rejects_out_of_range(self):
+        with pytest.raises(GraphError):
+            CSRGraph(
+                np.array([0, 1]), np.array([5], dtype=np.int32)
+            )
+
+    def test_validation_rejects_unsorted_adjacency(self):
+        row_ptr = np.array([0, 2, 3, 4])
+        col = np.array([2, 1, 0, 0], dtype=np.int32)
+        with pytest.raises(GraphError):
+            CSRGraph(row_ptr, col)
+
+    def test_validation_rejects_self_loop(self):
+        row_ptr = np.array([0, 1, 2])
+        col = np.array([0, 0], dtype=np.int32)
+        with pytest.raises(GraphError):
+            CSRGraph(row_ptr, col)
+
+    def test_label_length_checked(self, triangle):
+        with pytest.raises(GraphError):
+            CSRGraph(triangle.row_ptr, triangle.col_idx, labels=np.array([1, 2]))
+
+
+class TestAccessors:
+    def test_neighbors_sorted(self, k4):
+        for v in range(4):
+            adj = k4.neighbors(v)
+            assert list(adj) == sorted(adj)
+            assert v not in adj
+
+    def test_has_edge(self, k4):
+        assert k4.has_edge(0, 3)
+        assert k4.has_edge(3, 0)
+
+    def test_has_edge_negative(self):
+        g = from_edges([(0, 1), (1, 2)])
+        assert not g.has_edge(0, 2)
+
+    def test_degrees_vector(self, k4):
+        assert list(k4.degrees) == [3, 3, 3, 3]
+
+    def test_label_default_zero(self, k4):
+        assert not k4.is_labeled
+        assert k4.label(0) == 0
+        assert k4.num_labels == 1
+
+    def test_with_labels_roundtrip(self, k4):
+        lab = k4.with_labels([0, 1, 2, 3])
+        assert lab.is_labeled
+        assert lab.label(2) == 2
+        assert lab.num_labels == 4
+        back = lab.without_labels()
+        assert not back.is_labeled
+        assert back == k4
+
+
+class TestEdgeIteration:
+    def test_edges_each_once(self, k4):
+        edges = list(k4.edges())
+        assert len(edges) == 6
+        assert all(u < v for u, v in edges)
+        assert len(set(edges)) == 6
+
+    def test_edge_array_matches_edges(self, small_plc):
+        arr = small_plc.edge_array()
+        assert arr.shape == (small_plc.num_edges, 2)
+        assert set(map(tuple, arr.tolist())) == set(small_plc.edges())
+
+    def test_directed_edge_array_both_directions(self, triangle):
+        arr = triangle.directed_edge_array()
+        assert arr.shape == (6, 2)
+        pairs = set(map(tuple, arr.tolist()))
+        assert (0, 1) in pairs and (1, 0) in pairs
+
+    def test_memory_bytes_positive(self, k4):
+        assert k4.memory_bytes() > 0
+        labeled = k4.with_labels([0, 0, 1, 1])
+        assert labeled.memory_bytes() > k4.memory_bytes()
+
+
+class TestEquality:
+    def test_equal_structures(self):
+        a = from_edges([(0, 1), (1, 2)])
+        b = from_edges([(1, 2), (0, 1)])
+        assert a == b
+
+    def test_label_inequality(self, k4):
+        assert k4 != k4.with_labels([0, 0, 0, 1])

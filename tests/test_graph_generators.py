@@ -1,0 +1,120 @@
+"""Unit tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.analysis import count_triangles
+from repro.graph.generators import (
+    barabasi_albert,
+    erdos_renyi,
+    ldbc_like,
+    power_law_cluster,
+    rmat,
+    with_hubs,
+)
+
+
+class TestErdosRenyi:
+    def test_size_and_density(self):
+        g = erdos_renyi(500, 8.0, seed=1)
+        assert g.num_vertices == 500
+        # Dedup loses a little; stay within 15 % of the target.
+        assert abs(g.avg_degree - 8.0) / 8.0 < 0.15
+
+    def test_deterministic(self):
+        a = erdos_renyi(100, 4.0, seed=5)
+        b = erdos_renyi(100, 4.0, seed=5)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = erdos_renyi(100, 4.0, seed=5)
+        b = erdos_renyi(100, 4.0, seed=6)
+        assert a != b
+
+    def test_rejects_tiny(self):
+        with pytest.raises(GraphError):
+            erdos_renyi(1, 2.0)
+
+
+class TestBarabasiAlbert:
+    def test_power_law_skew(self):
+        g = barabasi_albert(1000, 3, seed=2)
+        # BA graphs are skewed: d_max far above the mean.
+        assert g.max_degree > 5 * g.avg_degree
+
+    def test_min_degree(self):
+        g = barabasi_albert(300, 3, seed=3)
+        # Every non-seed vertex attaches with m edges.
+        assert int(g.degrees.min()) >= 1
+
+    def test_deterministic(self):
+        assert barabasi_albert(200, 2, seed=9) == barabasi_albert(200, 2, seed=9)
+
+    def test_rejects_bad_m(self):
+        with pytest.raises(GraphError):
+            barabasi_albert(10, 10)
+
+
+class TestPowerLawCluster:
+    def test_clustering_produces_triangles(self):
+        flat = barabasi_albert(400, 2, seed=4)
+        clustered = power_law_cluster(400, 2, p_triangle=0.9, seed=4)
+        assert count_triangles(clustered) > count_triangles(flat)
+
+    def test_p_range_checked(self):
+        with pytest.raises(GraphError):
+            power_law_cluster(100, 2, p_triangle=1.5)
+
+    def test_deterministic(self):
+        a = power_law_cluster(150, 3, seed=8)
+        b = power_law_cluster(150, 3, seed=8)
+        assert a == b
+
+
+class TestRmat:
+    def test_size_power_of_two_bound(self):
+        g = rmat(8, 4.0, seed=6)
+        assert g.num_vertices <= 256
+        assert g.num_edges > 0
+
+    def test_no_isolated_vertices(self):
+        g = rmat(8, 4.0, seed=6)
+        assert int(g.degrees.min()) >= 1
+
+    def test_skew(self):
+        g = rmat(10, 6.0, seed=7)
+        assert g.max_degree > 3 * g.avg_degree
+
+    def test_rejects_bad_probs(self):
+        with pytest.raises(GraphError):
+            rmat(6, 4.0, a=0.9, b=0.2, c=0.2)
+
+
+class TestLdbcLike:
+    def test_shape(self):
+        g = ldbc_like(500, 8.0, seed=10)
+        assert g.num_vertices == 500
+        assert 2.0 < g.avg_degree < 10.0
+
+    def test_rejects_more_communities_than_vertices(self):
+        with pytest.raises(GraphError):
+            ldbc_like(5, 2.0, num_communities=10)
+
+
+class TestWithHubs:
+    def test_hub_degree_injected(self):
+        base = erdos_renyi(300, 4.0, seed=11)
+        g = with_hubs(base, num_hubs=2, hub_degree=150, seed=12)
+        assert g.max_degree >= 140  # hub degree minus dedup losses
+        assert g.num_vertices == base.num_vertices
+
+    def test_adds_edges(self):
+        base = erdos_renyi(300, 4.0, seed=11)
+        g = with_hubs(base, num_hubs=1, hub_degree=50, seed=13)
+        assert g.num_edges > base.num_edges
+
+    def test_rejects_bad_args(self):
+        base = erdos_renyi(50, 3.0, seed=14)
+        with pytest.raises(GraphError):
+            with_hubs(base, num_hubs=0, hub_degree=5)

@@ -1,0 +1,139 @@
+"""Tests for graph I/O, the dataset registry, and graph statistics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.analysis import compute_stats, count_triangles, degree_histogram
+from repro.graph.builder import from_edges
+from repro.graph.datasets import (
+    BIG_DATASETS,
+    DATASETS,
+    MODERATE_DATASETS,
+    dataset_names,
+    load_dataset,
+)
+from repro.graph.io import load_edge_list, load_npz, save_edge_list, save_npz
+
+
+class TestEdgeListIO:
+    def test_roundtrip(self, tmp_path, small_plc):
+        path = tmp_path / "g.txt"
+        save_edge_list(small_plc, path)
+        loaded = load_edge_list(path)
+        assert loaded.num_edges == small_plc.num_edges
+        assert np.array_equal(loaded.col_idx, small_plc.col_idx)
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# header\n% other\n0 1\n1 2\n")
+        g = load_edge_list(path)
+        assert g.num_edges == 2
+
+    def test_bad_line_raises(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0\n")
+        with pytest.raises(GraphError):
+            load_edge_list(path)
+
+    def test_labels_sidecar(self, tmp_path):
+        gpath = tmp_path / "g.txt"
+        lpath = tmp_path / "labels.txt"
+        gpath.write_text("0 1\n1 2\n")
+        lpath.write_text("0\n1\n0\n")
+        g = load_edge_list(gpath, labels_path=lpath)
+        assert g.is_labeled
+        assert g.label(1) == 1
+
+
+class TestNpzIO:
+    def test_roundtrip(self, tmp_path, small_plc):
+        path = tmp_path / "g.npz"
+        save_npz(small_plc, path)
+        loaded = load_npz(path)
+        assert loaded == small_plc
+        assert loaded.name == small_plc.name
+
+    def test_labeled_roundtrip(self, tmp_path, labeled_plc):
+        path = tmp_path / "g.npz"
+        save_npz(labeled_plc, path)
+        loaded = load_npz(path)
+        assert loaded.is_labeled
+        assert np.array_equal(loaded.labels, labeled_plc.labels)
+
+
+class TestDatasets:
+    def test_twelve_registered(self):
+        assert len(DATASETS) == 12
+        assert len(MODERATE_DATASETS) == 8
+        assert len(BIG_DATASETS) == 4
+
+    def test_category_filter(self):
+        assert dataset_names("moderate") == MODERATE_DATASETS
+        assert dataset_names("big") == BIG_DATASETS
+        assert set(dataset_names()) == set(DATASETS)
+        with pytest.raises(GraphError):
+            dataset_names("huge")
+
+    def test_unknown_dataset(self):
+        with pytest.raises(GraphError):
+            load_dataset("twitter")
+
+    def test_moderate_unlabeled_big_labeled(self):
+        assert not load_dataset("dblp").is_labeled
+        big = load_dataset("friendster")
+        assert big.is_labeled
+        assert big.num_labels == 4
+
+    def test_label_override(self):
+        g8 = load_dataset("friendster", num_labels=8)
+        assert g8.num_labels == 8
+        g0 = load_dataset("orkut", num_labels=0)
+        assert not g0.is_labeled
+
+    def test_deterministic(self):
+        load_dataset.cache_clear()
+        a = load_dataset("youtube")
+        load_dataset.cache_clear()
+        b = load_dataset("youtube")
+        assert a == b
+
+    def test_skewed_graphs_exceed_fixed_capacity(self):
+        # The STMatch-overflow story requires this separation (paper IV-G).
+        from repro.core.config import STMATCH_FIXED_CAPACITY
+
+        for name in ("youtube", "pokec", "orkut", "sinaweibo"):
+            g = load_dataset(name, num_labels=0)
+            assert g.max_degree > STMATCH_FIXED_CAPACITY, name
+        for name in ("amazon", "dblp", "imdb", "cit-patents", "facebook", "web-google"):
+            g = load_dataset(name)
+            assert g.max_degree <= STMATCH_FIXED_CAPACITY, name
+
+    def test_paper_stats_attached(self):
+        spec = DATASETS["friendster"]
+        assert spec.paper.num_edges == 1_806_067_135
+
+
+class TestAnalysis:
+    def test_stats_shape(self, k4):
+        s = compute_stats(k4)
+        assert s.num_vertices == 4
+        assert s.num_edges == 6
+        assert s.avg_degree == pytest.approx(3.0)
+        assert s.degree_skew == pytest.approx(1.0)
+        assert len(s.row()) == 7
+
+    def test_triangles_k4(self, k4):
+        assert count_triangles(k4) == 4
+
+    def test_triangles_triangle(self, triangle):
+        assert count_triangles(triangle) == 1
+
+    def test_triangles_bipartite_zero(self):
+        g = from_edges([(0, 2), (0, 3), (1, 2), (1, 3)])
+        assert count_triangles(g) == 0
+
+    def test_degree_histogram(self, small_plc):
+        edges, counts = degree_histogram(small_plc, bins=5)
+        assert counts.sum() == (small_plc.degrees > 0).sum()
+        assert len(edges) == 6

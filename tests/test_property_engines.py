@@ -1,0 +1,108 @@
+"""Property-based tests on engine-level invariants (hypothesis).
+
+These drive randomized small graphs through the engines and assert the
+structural invariants of the system:
+
+* T-DFS == serial CPU reference, for every pattern and random graph;
+* embeddings == instances × |Aut| (symmetry-breaking correctness);
+* intersection reuse, edge filtering, chunk size, warp count, and the
+  timeout threshold never change counts — only time;
+* multi-GPU partitioning never changes counts.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro import TDFSConfig
+from repro.baselines.cpu import cpu_count
+from repro.core.config import Strategy
+from repro.core.engine import TDFSEngine
+from repro.graph.generators import erdos_renyi, power_law_cluster
+from repro.query.patterns import get_pattern
+from repro.query.plan import compile_plan
+
+PATTERNS = ["P1", "P2", "P3"]
+
+
+@st.composite
+def random_graph(draw):
+    kind = draw(st.sampled_from(["er", "plc"]))
+    seed = draw(st.integers(0, 10_000))
+    n = draw(st.integers(20, 90))
+    if kind == "er":
+        return erdos_renyi(n, draw(st.floats(2.0, 8.0)), seed=seed)
+    m = draw(st.integers(2, 4))
+    if n <= m:
+        n = m + 1
+    return power_law_cluster(n, m, p_triangle=0.5, seed=seed)
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph=random_graph(), pattern=st.sampled_from(PATTERNS))
+def test_tdfs_matches_cpu_reference(graph, pattern):
+    plan = compile_plan(get_pattern(pattern))
+    expect = cpu_count(graph, plan)
+    got = TDFSEngine(TDFSConfig(num_warps=4)).run(graph, plan)
+    assert got.count == expect
+
+
+@settings(max_examples=20, deadline=None)
+@given(graph=random_graph(), pattern=st.sampled_from(PATTERNS))
+def test_symmetry_invariant(graph, pattern):
+    plan_on = compile_plan(get_pattern(pattern), enable_symmetry=True)
+    plan_off = compile_plan(get_pattern(pattern), enable_symmetry=False)
+    inst = TDFSEngine(TDFSConfig(num_warps=4)).run(graph, plan_on).count
+    emb = TDFSEngine(
+        TDFSConfig(num_warps=4, enable_symmetry=False)
+    ).run(graph, plan_off).count
+    assert emb == inst * plan_on.aut_size
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    graph=random_graph(),
+    pattern=st.sampled_from(PATTERNS),
+    warps=st.sampled_from([1, 3, 8]),
+    chunk=st.sampled_from([1, 8, 64]),
+    reuse=st.booleans(),
+    edge_filter=st.booleans(),
+)
+def test_tuning_knobs_never_change_counts(
+    graph, pattern, warps, chunk, reuse, edge_filter
+):
+    plan = compile_plan(get_pattern(pattern), enable_reuse=reuse)
+    base = cpu_count(graph, plan)
+    cfg = TDFSConfig(
+        num_warps=warps,
+        chunk_size=chunk,
+        enable_reuse=reuse,
+        enable_edge_filter=edge_filter,
+    )
+    assert TDFSEngine(cfg).run(graph, plan).count == base
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    graph=random_graph(),
+    pattern=st.sampled_from(PATTERNS),
+    tau=st.sampled_from([100, 5_000, 10**9]),
+)
+def test_timeout_threshold_never_changes_counts(graph, pattern, tau):
+    plan = compile_plan(get_pattern(pattern))
+    expect = cpu_count(graph, plan)
+    cfg = TDFSConfig(num_warps=4, strategy=Strategy.TIMEOUT, tau_cycles=tau)
+    assert TDFSEngine(cfg).run(graph, plan).count == expect
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    graph=random_graph(),
+    pattern=st.sampled_from(PATTERNS),
+    gpus=st.sampled_from([2, 3, 4]),
+)
+def test_multi_gpu_never_changes_counts(graph, pattern, gpus):
+    plan = compile_plan(get_pattern(pattern))
+    expect = cpu_count(graph, plan)
+    cfg = TDFSConfig(num_warps=4, num_gpus=gpus)
+    assert TDFSEngine(cfg).run(graph, plan).count == expect

@@ -1,0 +1,79 @@
+"""Unit tests for matching-order selection."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.query.ordering import (
+    backward_neighbors,
+    choose_matching_order,
+    validate_order,
+)
+from repro.query.pattern import QueryGraph
+from repro.query.patterns import get_pattern, pattern_names
+
+
+class TestChooseOrder:
+    def test_is_permutation(self):
+        for name in pattern_names():
+            q = get_pattern(name)
+            order = choose_matching_order(q)
+            assert sorted(order) == list(range(q.num_vertices))
+
+    def test_starts_at_max_degree(self):
+        q = get_pattern("P4")  # gem: vertex 4 dominates
+        assert choose_matching_order(q)[0] == 4
+
+    def test_connected_prefix(self):
+        for name in pattern_names():
+            q = get_pattern(name)
+            order = choose_matching_order(q)
+            validate_order(q, order)  # raises if a prefix is disconnected
+
+    def test_single_vertex(self):
+        q = QueryGraph(1, [])
+        assert choose_matching_order(q) == [0]
+
+    def test_deterministic(self):
+        q = get_pattern("P9")
+        assert choose_matching_order(q) == choose_matching_order(q)
+
+
+class TestBackwardNeighbors:
+    def test_first_position_empty(self):
+        q = get_pattern("P2")
+        order = choose_matching_order(q)
+        back = backward_neighbors(q, order)
+        assert back[0] == []
+
+    def test_k4_all_backward(self):
+        q = get_pattern("P2")
+        order = choose_matching_order(q)
+        back = backward_neighbors(q, order)
+        # K4: position i is adjacent to all earlier positions.
+        for i in range(4):
+            assert back[i] == list(range(i))
+
+    def test_positions_not_vertices(self):
+        q = QueryGraph(3, [(0, 1), (1, 2)])
+        order = [1, 0, 2]
+        back = backward_neighbors(q, order)
+        assert back[1] == [0]  # vertex 0's backward neighbor is position 0
+        assert back[2] == [0]  # vertex 2 connects to vertex 1 at position 0
+
+
+class TestValidateOrder:
+    def test_rejects_non_permutation(self):
+        q = get_pattern("P1")
+        with pytest.raises(PlanError):
+            validate_order(q, [0, 0, 1, 2])
+
+    def test_rejects_disconnected_prefix(self):
+        # Path 0-1-2-3: order [0, 3, ...] leaves vertex 3 with no backward
+        # neighbor at position 1.
+        q = QueryGraph(4, [(0, 1), (1, 2), (2, 3)])
+        with pytest.raises(PlanError):
+            validate_order(q, [0, 3, 1, 2])
+
+    def test_accepts_valid(self):
+        q = QueryGraph(4, [(0, 1), (1, 2), (2, 3)])
+        validate_order(q, [1, 0, 2, 3])

@@ -1,0 +1,126 @@
+"""Unit tests for query graphs and the P1–P22 pattern registry."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query.pattern import QueryGraph
+from repro.query.patterns import (
+    LABELED_PATTERNS,
+    PATTERNS,
+    UNLABELED_PATTERNS,
+    get_pattern,
+    pattern_description,
+    pattern_names,
+)
+
+
+class TestQueryGraph:
+    def test_basic(self):
+        q = QueryGraph(3, [(0, 1), (1, 2), (2, 0)])
+        assert q.num_vertices == 3
+        assert q.num_edges == 3
+        assert q.degree(0) == 2
+
+    def test_duplicate_edges_collapsed(self):
+        q = QueryGraph(3, [(0, 1), (1, 0), (1, 2)])
+        assert q.num_edges == 2
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(QueryError):
+            QueryGraph(2, [(0, 0)])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(QueryError):
+            QueryGraph(2, [(0, 5)])
+
+    def test_rejects_disconnected(self):
+        with pytest.raises(QueryError):
+            QueryGraph(4, [(0, 1), (2, 3)])
+
+    def test_labels(self):
+        q = QueryGraph(3, [(0, 1), (1, 2)], labels=[0, 1, 0])
+        assert q.is_labeled
+        assert q.label(1) == 1
+
+    def test_label_length_checked(self):
+        with pytest.raises(QueryError):
+            QueryGraph(3, [(0, 1), (1, 2)], labels=[0, 1])
+
+    def test_with_labels(self):
+        q = QueryGraph(3, [(0, 1), (1, 2)])
+        lab = q.with_labels([1, 2, 3])
+        assert lab.label(2) == 3
+        assert lab.num_edges == q.num_edges
+
+    def test_relabeled_by_permutation(self):
+        q = QueryGraph(3, [(0, 1), (1, 2)])
+        r = q.relabeled_by([2, 1, 0])
+        assert r.has_edge(2, 1)
+        assert r.has_edge(1, 0)
+        assert not r.has_edge(2, 0)
+
+    def test_relabeled_rejects_non_permutation(self):
+        q = QueryGraph(3, [(0, 1), (1, 2)])
+        with pytest.raises(QueryError):
+            q.relabeled_by([0, 0, 1])
+
+    def test_equality_and_hash(self):
+        a = QueryGraph(3, [(0, 1), (1, 2)])
+        b = QueryGraph(3, [(1, 2), (0, 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestPatternRegistry:
+    def test_all_22_present(self):
+        assert len(PATTERNS) == 22
+        assert pattern_names() == UNLABELED_PATTERNS + LABELED_PATTERNS
+
+    def test_p1_is_diamond(self):
+        p1 = get_pattern("P1")
+        assert p1.num_vertices == 4
+        assert p1.num_edges == 5  # paper: "P1 and P12 ... only have 5 edges"
+
+    def test_p2_is_k4(self):
+        p2 = get_pattern("P2")
+        assert p2.num_edges == 6
+        assert all(p2.degree(u) == 3 for u in range(4))
+
+    def test_p7_is_k5(self):
+        p7 = get_pattern("P7")
+        assert p7.num_vertices == 5
+        assert p7.num_edges == 10
+
+    def test_p8_to_p10_are_six_node(self):
+        # Table IV evaluates "some 6-node patterns, P8–P10".
+        for name in ("P8", "P9", "P10"):
+            assert get_pattern(name).num_vertices == 6
+
+    def test_labeled_patterns_take_i_mod_4(self):
+        for idx, name in enumerate(LABELED_PATTERNS):
+            q = get_pattern(name)
+            base = get_pattern(UNLABELED_PATTERNS[idx])
+            assert q.is_labeled
+            assert q.num_edges == base.num_edges
+            assert list(q.labels) == [i % 4 for i in range(q.num_vertices)]
+
+    def test_unlabeled_patterns_are_unlabeled(self):
+        for name in UNLABELED_PATTERNS:
+            assert not get_pattern(name).is_labeled
+
+    def test_unknown_pattern(self):
+        with pytest.raises(QueryError):
+            get_pattern("P99")
+
+    def test_filtering(self):
+        assert pattern_names(labeled=False) == UNLABELED_PATTERNS
+        assert pattern_names(labeled=True) == LABELED_PATTERNS
+
+    def test_descriptions_exist(self):
+        for name in pattern_names():
+            assert pattern_description(name)
+
+    def test_all_connected(self):
+        # QueryGraph enforces connectivity at construction; re-assert here.
+        for name, q in PATTERNS.items():
+            assert q.num_edges >= q.num_vertices - 1, name

@@ -1,0 +1,103 @@
+"""Unit tests for plan compilation and the reuse table."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.query.ordering import choose_matching_order
+from repro.query.pattern import QueryGraph
+from repro.query.patterns import get_pattern, pattern_names
+from repro.query.plan import compile_plan
+from repro.query.reuse import compute_reuse_plan, reuse_savings
+
+
+class TestCompilePlan:
+    def test_all_patterns_compile(self):
+        for name in pattern_names():
+            plan = compile_plan(get_pattern(name))
+            assert plan.num_levels == plan.query.num_vertices
+            assert len(plan.backward) == plan.num_levels
+            assert len(plan.constraints) == plan.num_levels
+            assert len(plan.reuse) == plan.num_levels
+
+    def test_explicit_order_validated(self):
+        q = QueryGraph(4, [(0, 1), (1, 2), (2, 3)])
+        with pytest.raises(PlanError):
+            compile_plan(q, order=[0, 3, 1, 2])
+
+    def test_explicit_order_used(self):
+        q = get_pattern("P2")
+        plan = compile_plan(q, order=[3, 2, 1, 0])
+        assert plan.order == (3, 2, 1, 0)
+
+    def test_symmetry_disabled(self):
+        plan = compile_plan(get_pattern("P2"), enable_symmetry=False)
+        assert not plan.symmetry_enabled
+        assert all(not c for c in plan.constraints)
+        assert plan.aut_size == 24  # aut size still reported
+
+    def test_reuse_disabled(self):
+        plan = compile_plan(get_pattern("P2"), enable_reuse=False)
+        assert all(not e.reuses for e in plan.reuse)
+
+    def test_single_vertex_rejected(self):
+        with pytest.raises(PlanError):
+            compile_plan(QueryGraph(1, []))
+
+    def test_labels_follow_order(self):
+        plan = compile_plan(get_pattern("P13"))  # labeled K4
+        for i, u in enumerate(plan.order):
+            assert plan.labels[i] == plan.query.label(u)
+
+    def test_degrees_follow_order(self):
+        plan = compile_plan(get_pattern("P4"))
+        for i, u in enumerate(plan.order):
+            assert plan.degrees[i] == plan.query.degree(u)
+
+    def test_position_of_inverse(self):
+        plan = compile_plan(get_pattern("P9"))
+        for i, u in enumerate(plan.order):
+            assert plan.position_of(u) == i
+
+    def test_describe_mentions_every_level(self):
+        plan = compile_plan(get_pattern("P5"))
+        text = plan.describe()
+        for i in range(plan.num_levels):
+            assert f"level {i + 1}" in text
+
+
+class TestReusePlan:
+    def test_diamond_reuses(self):
+        # P1 diamond: u0 and u3 share the same two backward neighbors, so
+        # the later position reuses the earlier (the paper's Fig. 7 case).
+        q = get_pattern("P1")
+        order = choose_matching_order(q)
+        plan = compute_reuse_plan(q, order)
+        assert any(e.reuses for e in plan)
+
+    def test_reuse_source_is_subset(self):
+        from repro.query.ordering import backward_neighbors
+
+        for name in pattern_names():
+            q = get_pattern(name)
+            order = choose_matching_order(q)
+            back = backward_neighbors(q, order)
+            plan = compute_reuse_plan(q, order)
+            for j, entry in enumerate(plan):
+                if entry.reuses:
+                    src = set(back[entry.source])
+                    tgt = set(back[j])
+                    assert src <= tgt
+                    assert set(entry.remaining) == tgt - src
+                    assert len(src) >= 2
+
+    def test_no_reuse_for_path(self):
+        q = QueryGraph(4, [(0, 1), (1, 2), (2, 3)])
+        order = choose_matching_order(q)
+        plan = compute_reuse_plan(q, order)
+        assert all(not e.reuses for e in plan)
+        assert reuse_savings(plan) == 0
+
+    def test_savings_counted(self):
+        q = get_pattern("P1")
+        order = choose_matching_order(q)
+        assert reuse_savings(compute_reuse_plan(q, order)) >= 1

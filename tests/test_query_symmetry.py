@@ -1,0 +1,114 @@
+"""Unit tests for automorphisms and symmetry-breaking constraints."""
+
+import pytest
+
+from repro.query.ordering import choose_matching_order
+from repro.query.pattern import QueryGraph
+from repro.query.patterns import get_pattern, pattern_names
+from repro.query.symmetry import (
+    automorphism_group_size,
+    automorphisms,
+    constraint_pairs,
+    symmetry_breaking_constraints,
+)
+
+
+class TestAutomorphisms:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("P1", 4),    # diamond
+            ("P2", 24),   # K4
+            ("P3", 2),    # house
+            ("P4", 2),    # gem
+            ("P5", 8),    # wheel W4
+            ("P6", 12),   # K5 minus an edge
+            ("P7", 120),  # K5
+            ("P8", 12),   # C6 (dihedral group)
+            ("P9", 12),   # prism
+            ("P10", 48),  # octahedron
+        ],
+    )
+    def test_known_group_sizes(self, name, expected):
+        assert automorphism_group_size(get_pattern(name)) == expected
+
+    def test_identity_always_present(self):
+        for name in pattern_names():
+            q = get_pattern(name)
+            assert tuple(range(q.num_vertices)) in automorphisms(q)
+
+    def test_group_closure(self):
+        q = get_pattern("P1")
+        group = set(automorphisms(q))
+        for a in group:
+            for b in group:
+                composed = tuple(a[b[i]] for i in range(q.num_vertices))
+                assert composed in group
+
+    def test_group_inverses(self):
+        q = get_pattern("P5")
+        group = set(automorphisms(q))
+        ident = tuple(range(q.num_vertices))
+        for a in group:
+            inv = [0] * len(a)
+            for i, img in enumerate(a):
+                inv[img] = i
+            assert tuple(a[inv[i]] for i in range(len(a))) == ident
+
+    def test_automorphisms_preserve_edges(self):
+        q = get_pattern("P9")
+        for phi in automorphisms(q):
+            for u, v in q.edges():
+                assert q.has_edge(phi[u], phi[v])
+
+    def test_labels_restrict_group(self):
+        # K4 has 24 automorphisms; labeling one vertex differently cuts it.
+        k4 = get_pattern("P2")
+        labeled = k4.with_labels([0, 1, 1, 1])
+        assert automorphism_group_size(labeled) == 6
+
+    def test_labeled_patterns_smaller_groups(self):
+        # P13 = labeled K4 with labels 0,1,2,3: only the identity remains.
+        assert automorphism_group_size(get_pattern("P13")) == 1
+
+    def test_path_graph(self):
+        path = QueryGraph(3, [(0, 1), (1, 2)])
+        assert automorphism_group_size(path) == 2
+
+
+class TestConstraints:
+    def test_k4_constraints_force_increasing(self):
+        q = get_pattern("P2")
+        order = choose_matching_order(q)
+        cond = symmetry_breaking_constraints(q, order)
+        # K4 is fully symmetric: the matched ids must be strictly increasing,
+        # i.e. position j is constrained by at least position j-1.
+        pairs = constraint_pairs(cond)
+        assert len(pairs) >= 3
+        for j in range(1, 4):
+            assert any(p == (i, j) for i, j2 in pairs for p in [(i, j2)] if j2 == j)
+
+    def test_constraint_positions_in_range(self):
+        for name in pattern_names():
+            q = get_pattern(name)
+            order = choose_matching_order(q)
+            cond = symmetry_breaking_constraints(q, order)
+            assert len(cond) == q.num_vertices
+            for j, lows in enumerate(cond):
+                assert all(0 <= i < j for i in lows)
+
+    def test_asymmetric_pattern_no_constraints(self):
+        # A pattern with trivial automorphism group gets no constraints
+        # (distinct labels kill every symmetry).
+        q = QueryGraph(4, [(0, 1), (1, 2), (2, 3), (0, 2)], labels=[0, 1, 2, 3])
+        assert automorphism_group_size(q) == 1
+        order = choose_matching_order(q)
+        cond = symmetry_breaking_constraints(q, order)
+        assert all(not lows for lows in cond)
+
+    def test_triangle_fully_ordered(self):
+        tri = QueryGraph(3, [(0, 1), (1, 2), (2, 0)])
+        order = choose_matching_order(tri)
+        cond = symmetry_breaking_constraints(tri, order)
+        # |Aut| = 6 ⇒ the three matched ids must be totally ordered.
+        assert sum(len(lows) for lows in cond) >= 2

@@ -1,0 +1,110 @@
+"""Unit tests for the lock-free circular task queue (Algorithm 3)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.taskqueue.ring import LockFreeTaskQueue
+from repro.taskqueue.tasks import EMPTY, PLACEHOLDER, Task
+
+
+def make_queue(tasks: int = 4) -> LockFreeTaskQueue:
+    return LockFreeTaskQueue(capacity_ints=tasks * 3)
+
+
+class TestTaskEncoding:
+    def test_three_vertex(self):
+        t = Task(1, 2, 3)
+        assert t.depth == 3
+
+    def test_edge_task(self):
+        t = Task.edge(5, 7)
+        assert t.depth == 2
+        assert t.v3 == PLACEHOLDER
+
+    def test_validate_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Task(-5, 2, 3).validate()
+
+    def test_validate_accepts_placeholder(self):
+        Task(1, 2, PLACEHOLDER).validate()
+
+
+class TestQueueBasics:
+    def test_capacity_must_be_multiple_of_three(self):
+        with pytest.raises(ReproError):
+            LockFreeTaskQueue(capacity_ints=10)
+
+    def test_fifo_order(self):
+        q = make_queue(4)
+        for i in range(3):
+            ok, _ = q.enqueue(Task(i, i + 1, i + 2))
+            assert ok
+        out = [q.dequeue()[0] for _ in range(3)]
+        assert out == [Task(0, 1, 2), Task(1, 2, 3), Task(2, 3, 4)]
+
+    def test_empty_dequeue_returns_none(self):
+        q = make_queue()
+        task, cycles = q.dequeue()
+        assert task is None
+        assert cycles > 0
+        assert q.dequeue_failures == 1
+
+    def test_full_enqueue_returns_false(self):
+        q = make_queue(2)
+        assert q.enqueue(Task(1, 1, 1))[0]
+        assert q.enqueue(Task(2, 2, 2))[0]
+        ok, _ = q.enqueue(Task(3, 3, 3))
+        assert not ok
+        assert q.enqueue_failures == 1
+        # The failed enqueue must not corrupt the size accounting.
+        assert q.num_tasks == 2
+
+    def test_wraparound(self):
+        q = make_queue(2)
+        for round_ in range(10):
+            assert q.enqueue(Task(round_, 0, 0))[0]
+            task, _ = q.dequeue()
+            assert task.v1 == round_
+
+    def test_full_ring_handoff(self):
+        # Fill completely, drain completely, several times: front == back
+        # collisions exercise the CAS/exchange hand-off.
+        q = make_queue(3)
+        for round_ in range(5):
+            for i in range(3):
+                assert q.enqueue(Task(round_, i, 9))[0]
+            assert not q.enqueue(Task(99, 99, 99))[0]
+            got = q.drain()
+            assert [t.v2 for t in got] == [0, 1, 2]
+
+    def test_edge_tasks_roundtrip_placeholder(self):
+        q = make_queue()
+        q.enqueue(Task.edge(3, 4))
+        task, _ = q.dequeue()
+        assert task == Task(3, 4, PLACEHOLDER)
+        assert task.depth == 2
+
+    def test_peak_task_tracking(self):
+        q = make_queue(8)
+        for i in range(5):
+            q.enqueue(Task(i, i, i))
+        q.drain()
+        assert q.peak_tasks == 5
+
+    def test_memory_bytes(self):
+        q = LockFreeTaskQueue(capacity_ints=3 * 1000)
+        assert q.memory_bytes() == 3 * 1000 * 4
+
+    def test_slots_cleared_after_dequeue(self):
+        q = make_queue(2)
+        q.enqueue(Task(1, 2, 3))
+        q.dequeue()
+        assert all(v == EMPTY for v in q.ring.snapshot())
+
+    def test_cycle_costs_accumulate(self):
+        q = make_queue()
+        _, enq_cycles = q.enqueue(Task(1, 2, 3))
+        _, deq_cycles = q.dequeue()
+        # 2 atomics + 3 slot copies at minimum, each direction.
+        assert enq_cycles >= 2 * q.cost.atomic
+        assert deq_cycles >= 2 * q.cost.atomic
