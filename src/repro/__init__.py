@@ -20,7 +20,8 @@ regeneration of every table and figure in the paper's evaluation.
 
 from repro.core.config import StackMode, Strategy, TDFSConfig
 from repro.core.engine import TDFSEngine, match
-from repro.core.result import MatchResult
+from repro.core.result import MatchResult, RecoveryStats
+from repro.faults import FaultKind, FaultPlan, FaultSpec, RetryPolicy
 from repro.graph.builder import GraphBuilder, from_edges, relabel_random
 from repro.graph.csr import CSRGraph
 from repro.graph.datasets import DATASETS, dataset_names, load_dataset
@@ -48,6 +49,11 @@ __all__ = [
     "StackMode",
     "TDFSEngine",
     "MatchResult",
+    "RecoveryStats",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "RetryPolicy",
     "match",
     "DATASETS",
     "dataset_names",

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import StackOverflowError_
+from repro.errors import StackLevelOverflowError
 from repro.alloc.ouroboros import OuroborosAllocator
 from repro.gpusim.costmodel import CostModel, WARP_SIZE
 
@@ -36,7 +36,7 @@ class PageTable:
 
     def page_at(self, idx: int) -> int:
         if idx >= self.size:
-            raise StackOverflowError_(
+            raise StackLevelOverflowError(
                 f"page table exhausted: index {idx} >= table size {self.size} "
                 "(increase page_table_size, cf. paper's 4000-entry example)"
             )
@@ -44,7 +44,7 @@ class PageTable:
 
     def set_page(self, idx: int, page: int) -> None:
         if idx >= self.size:
-            raise StackOverflowError_(
+            raise StackLevelOverflowError(
                 f"page table exhausted: index {idx} >= table size {self.size}"
             )
         self.entries[idx] = page

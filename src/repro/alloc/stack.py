@@ -18,7 +18,7 @@ from typing import Callable, Protocol
 
 import numpy as np
 
-from repro.errors import StackOverflowError_
+from repro.errors import StackLevelOverflowError
 from repro.alloc.ouroboros import OuroborosAllocator
 from repro.alloc.pagetable import PagedLevel, DEFAULT_PAGE_TABLE_SIZE
 from repro.gpusim.costmodel import CostModel, WARP_SIZE
@@ -65,7 +65,7 @@ class ArrayLevel:
         if n > self.capacity:
             self.overflows += 1
             if self.policy is OverflowPolicy.RAISE:
-                raise StackOverflowError_(
+                raise StackLevelOverflowError(
                     f"candidate set of {n} exceeds level capacity "
                     f"{self.capacity}"
                 )

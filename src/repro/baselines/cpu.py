@@ -23,12 +23,22 @@ def cpu_count(
     graph: CSRGraph,
     plan: MatchingPlan,
     collect: Optional[list] = None,
+    resume_groups: Optional[list] = None,
+    collect_limit: int = 0,
 ) -> int:
     """Count matches of ``plan`` in ``graph`` by recursive backtracking.
 
     When ``collect`` is given, every full match (tuple of data vertices in
     order-position order) is appended to it — used by tests that verify the
-    actual embeddings, not just the count.
+    actual embeddings, not just the count.  ``collect_limit`` (when > 0)
+    caps how many are recorded; counting always runs to completion.
+
+    ``resume_groups`` switches to *resume mode* (the recovery layer's CPU
+    fallback, see :mod:`repro.faults.recovery`): instead of enumerating
+    from scratch, only the matches extending the given ``(rows, width)``
+    prefix groups are counted.  Each row is re-validated position by
+    position, which is idempotent for already-filtered prefixes and
+    performs the initial edge filtering for raw edge rows.
     """
     k = plan.num_levels
     path = [0] * k
@@ -68,10 +78,35 @@ def cpu_count(
             path[pos] = v
             if pos == k - 1:
                 count += 1
-                if collect is not None:
+                if collect is not None and (
+                    not collect_limit or len(collect) < collect_limit
+                ):
                     collect.append(tuple(path))
             else:
                 enumerate_from(pos + 1)
+
+    if resume_groups is not None:
+        for rows, width in resume_groups:
+            w = int(width)
+            for row in rows:
+                ok = True
+                for i in range(w):
+                    v = int(row[i])
+                    if not candidate_ok(v, i):
+                        ok = False
+                        break
+                    path[i] = v
+                if not ok:
+                    continue
+                if w >= k:
+                    count += 1
+                    if collect is not None and (
+                        not collect_limit or len(collect) < collect_limit
+                    ):
+                        collect.append(tuple(path))
+                else:
+                    enumerate_from(w)
+        return count
 
     for v1 in range(graph.num_vertices):
         if not candidate_ok(v1, 0):

@@ -29,6 +29,19 @@ def quick_mode() -> bool:
     return os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
 
 
+def fault_seed() -> Optional[int]:
+    """Fault-plan seed from ``REPRO_FAULT_SEED`` (unset/empty = no chaos).
+
+    Setting it runs every bench cell under the default seeded chaos mix
+    with the resilient retry policy armed — a fleet-wide robustness sweep;
+    identical seeds reproduce identical fault sequences.
+    """
+    raw = os.environ.get("REPRO_FAULT_SEED", "")
+    if raw == "":
+        return None
+    return int(raw)
+
+
 def patterns_for(full: list[str], quick: Optional[list[str]] = None) -> list[str]:
     """Pick the full or quick pattern list based on the environment."""
     if quick_mode():
@@ -52,13 +65,27 @@ def run_cell(
     engine: str,
     config: Optional[TDFSConfig] = None,
     num_labels: Optional[int] = None,
+    chaos_seed: Optional[int] = None,
 ) -> MatchResult:
-    """Run one experiment cell; failures become result markers, not crashes."""
+    """Run one experiment cell; failures become result markers, not crashes.
+
+    ``chaos_seed`` (or the ``REPRO_FAULT_SEED`` environment variable) arms
+    the deterministic chaos harness for the cell: the default seeded fault
+    mix plus the resilient retry policy (see :mod:`repro.faults`).
+    """
     graph = load_dataset(dataset, num_labels=num_labels)
     spec = DATASETS[dataset]
     cfg = config or TDFSConfig()
     if cfg.device_memory is None:
         cfg = cfg.replace(device_memory=spec.device_memory)
+    seed = chaos_seed if chaos_seed is not None else fault_seed()
+    if seed is not None and cfg.fault_plan is None:
+        from repro.faults import FaultPlan, RetryPolicy
+
+        cfg = cfg.replace(
+            fault_plan=FaultPlan.seeded(seed),
+            retry=cfg.retry or RetryPolicy(),
+        )
     if isinstance(pattern, str):
         pattern = get_pattern(pattern)
     try:

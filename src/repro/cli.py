@@ -90,6 +90,38 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 1 if result.failed else 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Chaos harness: run with seeded fault injection, verify survival."""
+    from repro.faults import FaultPlan, RetryPolicy, format_survival_report
+
+    base = TDFSConfig(
+        num_warps=args.warps,
+        chunk_size=args.chunk_size,
+        num_gpus=args.gpus,
+        device_memory=DATASETS[args.dataset].device_memory,
+    )
+    graph = load_dataset(args.dataset, num_labels=args.labels)
+    baseline = match(graph, args.pattern, engine="tdfs", config=base)
+    plan = FaultPlan.seeded(
+        args.seed,
+        oom_rate=args.oom_rate,
+        illegal_access_rate=args.illegal_access_rate,
+        kernel_launch_rate=args.kernel_launch_rate,
+        queue_corruption_rate=args.queue_corruption_rate,
+        cas_storm_rate=args.cas_storm_rate,
+        stall_rate=args.stall_rate,
+    )
+    chaos_cfg = base.replace(
+        fault_plan=plan,
+        retry=RetryPolicy(max_attempts=args.attempts),
+    )
+    result = match(graph, args.pattern, engine="tdfs", config=chaos_cfg)
+    report = format_survival_report(result, baseline=baseline, plan=plan)
+    print(report, end="")
+    survived = (not result.failed) and result.count == baseline.count
+    return 0 if survived else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -135,6 +167,28 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--no-edge-filter", action="store_true")
     run_p.add_argument("-v", "--verbose", action="store_true")
     run_p.set_defaults(func=_cmd_run)
+
+    chaos_p = sub.add_parser(
+        "chaos",
+        help="run under deterministic fault injection and report survival",
+    )
+    chaos_p.add_argument("--dataset", default="dblp", choices=list(DATASETS))
+    chaos_p.add_argument("--pattern", default="P1")
+    chaos_p.add_argument("--seed", type=int, default=0,
+                         help="fault-plan seed (same seed = same faults)")
+    chaos_p.add_argument("--labels", type=int, default=None)
+    chaos_p.add_argument("--gpus", type=int, default=1)
+    chaos_p.add_argument("--warps", type=int, default=64)
+    chaos_p.add_argument("--chunk-size", type=int, default=8)
+    chaos_p.add_argument("--attempts", type=int, default=4,
+                         help="retry budget (incl. the first attempt)")
+    chaos_p.add_argument("--oom-rate", type=float, default=0.25)
+    chaos_p.add_argument("--illegal-access-rate", type=float, default=0.0005)
+    chaos_p.add_argument("--kernel-launch-rate", type=float, default=0.0)
+    chaos_p.add_argument("--queue-corruption-rate", type=float, default=0.02)
+    chaos_p.add_argument("--cas-storm-rate", type=float, default=0.05)
+    chaos_p.add_argument("--stall-rate", type=float, default=0.1)
+    chaos_p.set_defaults(func=_cmd_chaos)
     return parser
 
 

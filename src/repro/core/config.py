@@ -10,9 +10,12 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Optional, TYPE_CHECKING
 
 from repro.errors import ReproError
+
+if TYPE_CHECKING:  # avoid a runtime import cycle (faults → … → config)
+    from repro.faults.plan import FaultPlan, RetryPolicy
 from repro.gpusim.costmodel import CostModel, CYCLES_PER_MS, DEFAULT_COST_MODEL
 from repro.gpusim.device import DEFAULT_NUM_WARPS
 
@@ -100,6 +103,14 @@ class TDFSConfig:
     num_gpus: int = 1
     cost: CostModel = field(default_factory=lambda: DEFAULT_COST_MODEL)
     max_events: int = 50_000_000
+
+    fault_plan: Optional["FaultPlan"] = None
+    """Chaos harness: deterministic fault plan to arm on every device
+    attempt (see :mod:`repro.faults`).  ``None`` = no injection."""
+    retry: Optional["RetryPolicy"] = None
+    """Resilient execution: retry/degradation/failover policy.  ``None``
+    disables recovery — fatal device errors surface in ``MatchResult.error``
+    exactly as before."""
 
     # ------------------------------------------------------------------ #
 

@@ -23,12 +23,12 @@ from repro.alloc.stack import (
 )
 from repro.core.config import StackMode, Strategy, TDFSConfig
 from repro.core.edge_filter import host_prefilter
-from repro.core.result import MatchResult, QueueStats
+from repro.core.result import MatchResult, QueueStats, RecoveryStats
 from repro.core.warp_matcher import MatchJob
 from repro.errors import (
     DeviceError,
     DeviceOOMError,
-    StackOverflowError_,
+    StackLevelOverflowError,
     UnsupportedError,
 )
 from repro.gpusim.device import VirtualGPU
@@ -98,8 +98,47 @@ class TDFSEngine:
         edges: np.ndarray,
         gpu_name: str,
         collect_matches: int = 0,
+        resume: Optional[list] = None,
     ) -> MatchResult:
-        """Run one device's share of the job (all of it when 1 GPU)."""
+        """Run one device's share of the job (all of it when 1 GPU).
+
+        ``resume`` (a list of ``(rows, width)`` groups from a recovery
+        snapshot) makes this a *resume run*: the given prefixes are the
+        entire workload, fed to the warps after ``edges`` (usually empty).
+        With ``config.retry`` set, failed attempts are retried from their
+        own snapshots under the policy's degradation ladder; without it,
+        behaviour is exactly the classic single-attempt run.
+        """
+        cfg = self.config
+        if cfg.retry is None:
+            result, job, _gpu, fatal = self._run_attempt(
+                graph, plan, edges, gpu_name, 1, collect_matches, resume
+            )
+            if fatal is not None and cfg.fault_plan is not None:
+                # No retry here, but a multi-GPU driver may still fail the
+                # remainder over to surviving devices.
+                result.pending_work = self._attempt_snapshot(job, edges, resume)
+            return result
+        return self._run_resilient(
+            graph, plan, edges, gpu_name, collect_matches, resume
+        )
+
+    def _run_attempt(
+        self,
+        graph: CSRGraph,
+        plan: MatchingPlan,
+        edges: np.ndarray,
+        gpu_name: str,
+        attempt: int,
+        collect_matches: int = 0,
+        resume: Optional[list] = None,
+    ) -> tuple[MatchResult, Optional[MatchJob], VirtualGPU, Optional[BaseException]]:
+        """One device attempt; returns ``(result, job, gpu, fatal_error)``.
+
+        ``job`` is the warp job (with partial counts and run states) even
+        when the attempt aborted mid-run; it is ``None`` only when the
+        failure happened before the job was constructed.
+        """
         cfg = self.config
         budget = cfg.device_memory or DEFAULT_DEVICE_MEMORY
         gpu = VirtualGPU(
@@ -109,6 +148,9 @@ class TDFSEngine:
             name=gpu_name,
             trace=cfg.trace,
         )
+        injector = None
+        if cfg.fault_plan is not None:
+            injector = cfg.fault_plan.arm(gpu, gpu_name, attempt)
         result = MatchResult(
             engine=self.name,
             graph_name=graph.name,
@@ -118,22 +160,215 @@ class TDFSEngine:
             aut_size=plan.aut_size,
             symmetry_enabled=plan.symmetry_enabled,
         )
+        job_sink: list = []
+        fatal: Optional[BaseException] = None
         try:
             gpu.memory.allocate(graph.memory_bytes(), tag="csr-graph")
             result.memory.graph_bytes = graph.memory_bytes()
-            self._execute(gpu, graph, plan, edges, result, collect_matches)
+            self._execute(
+                gpu,
+                graph,
+                plan,
+                edges,
+                result,
+                collect_matches,
+                resume_groups=resume,
+                injector=injector,
+                job_sink=job_sink,
+            )
         except DeviceOOMError as exc:
             result.error = "OOM"
             result.count = 0
             result.elapsed_cycles = gpu.scheduler.now
             result.memory.device_peak_bytes = gpu.memory.peak
-            _ = exc
-        except StackOverflowError_:
+            fatal = exc
+        except StackLevelOverflowError as exc:
             result.error = "STACK_OVERFLOW"
             result.elapsed_cycles = gpu.scheduler.now
+            fatal = exc
         except DeviceError as exc:
             result.error = f"ERR ({exc})"
             result.elapsed_cycles = gpu.scheduler.now
+            fatal = exc
+        if injector is not None:
+            rec = result.recovery
+            rec.faults_injected += injector.total_injected
+            rec.faults_survived += injector.nonfatal_injected
+            for kind, n in injector.injected.items():
+                rec.faults_by_kind[kind] = rec.faults_by_kind.get(kind, 0) + n
+        job = job_sink[0] if job_sink else None
+        return result, job, gpu, fatal
+
+    # ------------------------------------------------------------------ #
+    # Resilient execution (retry + degradation ladder; see repro.faults)
+    # ------------------------------------------------------------------ #
+
+    def _attempt_snapshot(
+        self,
+        job: Optional[MatchJob],
+        fed_edges: np.ndarray,
+        fed_resume: Optional[list],
+    ) -> list:
+        """Pending work of a failed attempt, as ``(rows, width)`` groups."""
+        from repro.faults.recovery import snapshot_pending_work
+
+        if job is not None:
+            return snapshot_pending_work(job)
+        # The attempt died before the job existed (e.g. OOM while sizing
+        # the queue or arena): nothing was consumed, everything is pending.
+        groups: list = []
+        if len(fed_edges):
+            groups.append((fed_edges, 2))
+        if fed_resume:
+            groups.extend(fed_resume)
+        return groups
+
+    def _degraded_config(self, base: TDFSConfig, rungs: tuple) -> TDFSConfig:
+        """Apply ladder rungs to a config (cpu-fallback is driver-handled)."""
+        from repro.faults.plan import RUNG_ARRAY_STACKS, RUNG_SHRINK_CHUNK
+
+        cfg = base
+        for rung in rungs:
+            if rung == RUNG_SHRINK_CHUNK:
+                cfg = cfg.replace(chunk_size=max(1, base.chunk_size // 2))
+            elif rung == RUNG_ARRAY_STACKS and cfg.stack_mode is StackMode.PAGED:
+                cfg = cfg.replace(stack_mode=StackMode.ARRAY_DMAX)
+        return cfg
+
+    def _reindex_matches(self, plan: MatchingPlan, collected: list) -> list:
+        """Order-position tuples → query-vertex-id tuples."""
+        k = plan.num_levels
+        return [
+            tuple(m[plan.position_of(u)] for u in range(k)) for m in collected
+        ]
+
+    def _run_resilient(
+        self,
+        graph: CSRGraph,
+        plan: MatchingPlan,
+        edges: np.ndarray,
+        gpu_name: str,
+        collect_matches: int = 0,
+        resume: Optional[list] = None,
+    ) -> MatchResult:
+        """Retry driver: snapshot-resume each failed attempt, degrading.
+
+        Completed subtrees keep their counts across attempts — each retry
+        re-executes only the snapshot of what the failed attempt had not
+        finished, so the final count equals the fault-free count.
+        """
+        from repro.faults.plan import RUNG_CPU_FALLBACK
+        from repro.faults.recovery import cpu_resume_count, pending_rows
+
+        policy = self.config.retry
+        base_cfg = self.config
+        recovery = RecoveryStats()
+        total_count = 0
+        collected_pos: list = []  # order-position tuples across attempts
+        total_elapsed = 0
+        applied_rungs: list = []
+        pending: Optional[list] = resume
+        attempt_edges = edges
+        result: Optional[MatchResult] = None
+
+        for attempt in range(1, policy.max_attempts + 1):
+            recovery.attempts = attempt
+            rungs = policy.rungs_for(attempt)
+            new_rungs = list(rungs[len(applied_rungs) :])
+            applied_rungs.extend(new_rungs)
+            recovery.degradations.extend(new_rungs)
+
+            if RUNG_CPU_FALLBACK in rungs:
+                # Last rung: finish the remainder on the host — no device,
+                # no device faults, guaranteed termination.
+                room = 0
+                sink: Optional[list] = None
+                if collect_matches:
+                    room = max(0, collect_matches - len(collected_pos))
+                    sink = []
+                total_count += cpu_resume_count(
+                    graph,
+                    plan,
+                    pending or [],
+                    collect=sink,
+                    collect_limit=room,
+                )
+                if sink:
+                    collected_pos.extend(sink)
+                recovery.tasks_reexecuted += pending_rows(pending)
+                if result is None:
+                    result = MatchResult(
+                        engine=self.name,
+                        graph_name=graph.name,
+                        query_name=plan.query.name,
+                        count=0,
+                        elapsed_cycles=0,
+                        aut_size=plan.aut_size,
+                        symmetry_enabled=plan.symmetry_enabled,
+                    )
+                result.error = None
+                result.count = total_count
+                result.elapsed_cycles = total_elapsed
+                if collect_matches:
+                    result.matches = self._reindex_matches(plan, collected_pos)
+                result.recovery = recovery
+                result.pending_work = None
+                return result
+
+            room = collect_matches
+            if collect_matches:
+                room = max(0, collect_matches - len(collected_pos))
+            cfg = self._degraded_config(base_cfg, rungs)
+            self.config = cfg
+            try:
+                result, job, _gpu, fatal = self._run_attempt(
+                    graph,
+                    plan,
+                    attempt_edges,
+                    gpu_name,
+                    attempt,
+                    collect_matches=room,
+                    resume=pending,
+                )
+            finally:
+                self.config = base_cfg
+            recovery.faults_injected += result.recovery.faults_injected
+            recovery.faults_survived += result.recovery.faults_survived
+            for kind, n in result.recovery.faults_by_kind.items():
+                recovery.faults_by_kind[kind] = (
+                    recovery.faults_by_kind.get(kind, 0) + n
+                )
+            if job is not None:
+                total_count += job.count
+                if collect_matches:
+                    collected_pos.extend(job.collected)
+            total_elapsed += result.elapsed_cycles
+
+            if fatal is None:
+                result.count = total_count
+                result.elapsed_cycles = total_elapsed
+                if collect_matches:
+                    result.matches = self._reindex_matches(plan, collected_pos)
+                result.recovery = recovery
+                return result
+
+            # The attempt aborted: snapshot what it had not finished.
+            pending = self._attempt_snapshot(job, attempt_edges, pending)
+            attempt_edges = attempt_edges[:0]
+            if attempt < policy.max_attempts:
+                # The abort will be survived by the next attempt.
+                recovery.faults_survived += 1
+                recovery.tasks_reexecuted += pending_rows(pending)
+                backoff = policy.backoff_cycles(attempt)
+                recovery.backoff_cycles += backoff
+                total_elapsed += backoff
+
+        # Out of attempts: report the terminal failure, but keep the partial
+        # count and attach the snapshot so a multi-GPU driver can fail over.
+        result.count = total_count
+        result.elapsed_cycles = total_elapsed
+        result.recovery = recovery
+        result.pending_work = pending
         return result
 
     def _pre_kernel(
@@ -179,11 +414,15 @@ class TDFSEngine:
         edges: np.ndarray,
         result: MatchResult,
         collect_matches: int = 0,
+        resume_groups: Optional[list] = None,
+        injector=None,
+        job_sink: Optional[list] = None,
     ) -> None:
         cfg = self.config
         host_cycles = 0
         prefiltered = False
-        if self.host_filter:
+        resuming = bool(resume_groups)
+        if self.host_filter and not resuming:
             # STMatch-style serial host preprocessing before kernel launch.
             edges, host_cycles = host_prefilter(
                 graph, plan, cfg.cost, prune_degree=cfg.enable_edge_filter
@@ -191,9 +430,15 @@ class TDFSEngine:
             prefiltered = True
         result.host_preprocess_cycles = host_cycles
         pre_cycles, job_extra = self._pre_kernel(gpu, graph, plan, result)
-        edges, prefix_width, phase_cycles = self._initial_work(
-            gpu, graph, plan, edges, result
-        )
+        if resuming:
+            # Resume runs carry their work in recovered (rows, width)
+            # groups; skip the hybrid BFS phase (its output for the lost
+            # remainder is already encoded in the groups).
+            prefix_width, phase_cycles = 2, 0
+        else:
+            edges, prefix_width, phase_cycles = self._initial_work(
+                gpu, graph, plan, edges, result
+            )
         start_time = host_cycles + pre_cycles + phase_cycles
 
         queue: Optional[LockFreeTaskQueue] = None
@@ -203,6 +448,8 @@ class TDFSEngine:
             )
             gpu.memory.allocate(queue.memory_bytes(), tag="task-queue")
             result.memory.queue_bytes = queue.memory_bytes()
+            if injector is not None:
+                injector.attach_queue(queue)
 
         allocator: Optional[OuroborosAllocator] = None
         child_stack_bytes = 0
@@ -250,8 +497,11 @@ class TDFSEngine:
             child_stack_bytes=child_stack_bytes,
             prefix_width=prefix_width,
             collect_limit=collect_matches,
+            extra_groups=resume_groups,
             **job_extra,
         )
+        if job_sink is not None:
+            job_sink.append(job)
         gpu.note_work_done(start_time)
         gpu.launch(job.warp_body, at=start_time)
         gpu.scheduler.run(max_events=cfg.max_events)

@@ -8,6 +8,12 @@ and the count is the sum.
 
 The paper observes near-ideal speedup because round-robin over millions of
 edges balances the devices statistically; the same holds for the stand-ins.
+
+Device failover (chaos harness, see :mod:`repro.faults`): when the engine
+carries a :class:`~repro.faults.plan.RetryPolicy` and a device fails
+terminally, its recovery snapshot — the exact unfinished remainder — is
+re-sharded round-robin over the surviving devices and re-executed there, so
+a dead GPU costs time but never matches.
 """
 
 from __future__ import annotations
@@ -40,14 +46,76 @@ def run_multi_gpu(
                 collect_matches=collect_matches,
             )
         )
+    if engine.config.retry is not None:
+        _failover(graph, plan, engine, per_gpu, collect_matches)
     merged = merge_results(per_gpu, num_gpus)
     if collect_matches:
         merged.matches = []
         for r in per_gpu:
             if r.matches:
                 room = collect_matches - len(merged.matches)
+                if room <= 0:
+                    break
                 merged.matches.extend(r.matches[:room])
     return merged
+
+
+def _failover(
+    graph: CSRGraph,
+    plan: MatchingPlan,
+    engine: "TDFSEngine",
+    per_gpu: list[MatchResult],
+    collect_matches: int,
+) -> None:
+    """Re-execute failed devices' pending work on the survivors, in place.
+
+    Each failed device's snapshot is re-sharded round-robin across the
+    surviving devices and run as resume jobs there; the recovered counts
+    (and stats) are folded into the survivors' results and the failed
+    device's error is cleared — it was survived.
+    """
+    from repro.faults.recovery import pending_rows, reshard_groups
+
+    failed = [g for g, r in enumerate(per_gpu) if r.failed]
+    survivors = [g for g, r in enumerate(per_gpu) if not r.failed]
+    if not failed or not survivors:
+        return
+    for g in failed:
+        dead = per_gpu[g]
+        pending = dead.pending_work or []
+        shards = reshard_groups(pending, len(survivors))
+        for i, s in enumerate(survivors):
+            shard = shards[i]
+            surv = per_gpu[s]
+            surv.recovery.devices_failed_over += 1 if i == 0 else 0
+            if not shard:
+                continue
+            room = 0
+            if collect_matches:
+                have = sum(len(r.matches or []) for r in per_gpu)
+                room = max(0, collect_matches - have)
+            rescue = engine._run_single(
+                graph,
+                plan,
+                graph.directed_edge_array()[:0],
+                gpu_name=f"gpu{s}+fo{g}",
+                collect_matches=room,
+                resume=shard,
+            )
+            if rescue.failed:
+                # Even the rescue run died: keep the original error.
+                surv.recovery.merge(rescue.recovery)
+                return
+            surv.count += rescue.count
+            surv.elapsed_cycles += rescue.elapsed_cycles
+            surv.recovery.merge(rescue.recovery)
+            surv.recovery.tasks_reexecuted += pending_rows(shard)
+            if collect_matches and rescue.matches:
+                surv.matches = (surv.matches or []) + rescue.matches
+        # The failure was fully absorbed.
+        dead.error = None
+        dead.pending_work = None
+        dead.recovery.faults_survived += 1
 
 
 def merge_results(per_gpu: list[MatchResult], num_gpus: int) -> MatchResult:
@@ -63,9 +131,12 @@ def merge_results(per_gpu: list[MatchResult], num_gpus: int) -> MatchResult:
         symmetry_enabled=first.symmetry_enabled,
         num_gpus=num_gpus,
     )
-    errors = [r.error for r in per_gpu if r.error]
-    if errors:
-        merged.error = errors[0]
+    errors = [(g, r.error) for g, r in enumerate(per_gpu) if r.error]
+    if len(errors) == 1:
+        merged.error = errors[0][1]
+    elif errors:
+        # Aggregate every device's failure, not just the first one.
+        merged.error = " | ".join(f"gpu{g}: {e}" for g, e in errors)
     merged.overflowed = any(r.overflowed for r in per_gpu)
     merged.busy_cycles = sum(r.busy_cycles for r in per_gpu)
     merged.idle_cycles = sum(r.idle_cycles for r in per_gpu)
@@ -81,4 +152,6 @@ def merge_results(per_gpu: list[MatchResult], num_gpus: int) -> MatchResult:
     merged.memory.device_peak_bytes = max(
         r.memory.device_peak_bytes for r in per_gpu
     )
+    for r in per_gpu:
+        merged.recovery.merge(r.recovery)
     return merged

@@ -35,6 +35,54 @@ class MemoryStats:
 
 
 @dataclass
+class RecoveryStats:
+    """Chaos/resilience accounting for one job (see :mod:`repro.faults`).
+
+    All fields keep their defaults on a fault-free run, so results from the
+    ordinary path are unchanged.
+    """
+
+    attempts: int = 1
+    """Device attempts actually made (1 = no retry was needed)."""
+    faults_injected: int = 0
+    faults_survived: int = 0
+    """Faults absorbed without losing the run: non-fatal perturbations plus
+    every fatal abort whose work was recovered."""
+    faults_by_kind: dict = field(default_factory=dict)
+    degradations: list = field(default_factory=list)
+    """Degradation-ladder rungs applied, in order."""
+    tasks_reexecuted: int = 0
+    """Work rows re-executed from recovery snapshots."""
+    devices_failed_over: int = 0
+    backoff_cycles: int = 0
+    """Virtual idle cycles spent backing off between attempts."""
+
+    def merge(self, other: "RecoveryStats") -> None:
+        """Fold another device's stats into this one (multi-GPU merge)."""
+        self.attempts = max(self.attempts, other.attempts)
+        self.faults_injected += other.faults_injected
+        self.faults_survived += other.faults_survived
+        for kind, n in other.faults_by_kind.items():
+            self.faults_by_kind[kind] = self.faults_by_kind.get(kind, 0) + n
+        self.degradations.extend(other.degradations)
+        self.tasks_reexecuted += other.tasks_reexecuted
+        self.devices_failed_over += other.devices_failed_over
+        self.backoff_cycles += other.backoff_cycles
+
+    def to_dict(self) -> dict:
+        return {
+            "attempts": self.attempts,
+            "faults_injected": self.faults_injected,
+            "faults_survived": self.faults_survived,
+            "faults_by_kind": dict(sorted(self.faults_by_kind.items())),
+            "degradations": list(self.degradations),
+            "tasks_reexecuted": self.tasks_reexecuted,
+            "devices_failed_over": self.devices_failed_over,
+            "backoff_cycles": self.backoff_cycles,
+        }
+
+
+@dataclass
 class MatchResult:
     """Outcome of one subgraph-matching job.
 
@@ -75,6 +123,11 @@ class MatchResult:
     host_preprocess_cycles: int = 0
     queue: QueueStats = field(default_factory=QueueStats)
     memory: MemoryStats = field(default_factory=MemoryStats)
+    recovery: RecoveryStats = field(default_factory=RecoveryStats)
+    pending_work: Optional[list] = field(default=None, repr=False)
+    """On terminal failure with recovery armed: the snapshot of unfinished
+    work groups, so a multi-GPU driver can fail the remainder over to
+    surviving devices."""
 
     @property
     def elapsed_ms(self) -> float:
@@ -137,6 +190,7 @@ class MatchResult:
                 "pages_allocated": self.memory.pages_allocated,
             },
             "num_matches_collected": len(self.matches) if self.matches else 0,
+            "recovery": self.recovery.to_dict(),
         }
 
     def summary(self) -> str:
@@ -147,6 +201,11 @@ class MatchResult:
                 f"{self.error}"
             )
         flag = " [OVERFLOW: count unreliable]" if self.overflowed else ""
+        if self.recovery.attempts > 1 or self.recovery.devices_failed_over:
+            flag += (
+                f" [recovered: {self.recovery.faults_survived} fault(s), "
+                f"{self.recovery.attempts} attempt(s)]"
+            )
         return (
             f"{self.engine:>10} {self.graph_name}/{self.query_name}: "
             f"{self.count} matches in {self.elapsed_ms:.3f} ms "

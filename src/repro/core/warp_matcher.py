@@ -36,6 +36,7 @@ from repro.core.candidates import filter_candidates, leaf_matches
 from repro.core.config import Strategy, TDFSConfig
 from repro.core.edge_filter import filter_chunk
 from repro.core.intersect import intersect_sorted
+from repro.errors import IllegalAccessError
 from repro.gpusim.device import VirtualGPU, Warp
 from repro.graph.csr import CSRGraph
 from repro.query.plan import MatchingPlan
@@ -51,7 +52,15 @@ MAX_CHILD_WARPS = 32
 
 
 class RunState:
-    """Mutable per-warp DFS state — visible to thieves in HALF_STEAL mode."""
+    """Mutable per-warp DFS state — visible to thieves in HALF_STEAL mode.
+
+    Beyond the DFS stack proper, the state tracks everything a recovery
+    snapshot needs to reconstruct the warp's unfinished work exactly (see
+    :mod:`repro.faults.recovery`): the half-processed chunk
+    (``chunk``/``chunk_pos``), any stolen or child-kernel candidate list
+    (``aux_*``), and the prefix whose subtree is mid-expansion when an
+    abort lands between yield points (``inflight``).
+    """
 
     __slots__ = (
         "path",
@@ -66,6 +75,10 @@ class RunState:
         "valid_from",
         "item_prefix",
         "nodes",
+        "aux_prefix",
+        "aux_cands",
+        "aux_pos",
+        "inflight",
     )
 
     def __init__(self, num_levels: int, stack: WarpStack) -> None:
@@ -81,6 +94,14 @@ class RunState:
         self.valid_from = 0
         self.item_prefix = 0
         self.nodes = 0
+        #: Stolen / child-kernel work: candidate list + shared path prefix.
+        self.aux_prefix: list[int] = []
+        self.aux_cands: Optional[np.ndarray] = None
+        self.aux_pos = 0
+        #: When set, the subtree rooted at ``path[:inflight]`` is being
+        #: expanded and is not yet owned by any level's ``filtered``/``iters``
+        #: (e.g. an allocation inside ``_fill`` may abort mid-expansion).
+        self.inflight: Optional[int] = None
 
 
 class MatchJob:
@@ -99,6 +120,7 @@ class MatchJob:
         child_stack_bytes: int = 0,
         prefix_width: int = 2,
         collect_limit: int = 0,
+        extra_groups: Optional[list] = None,
     ) -> None:
         self.graph = graph
         self.plan = plan
@@ -122,6 +144,26 @@ class MatchJob:
         self.run_states: list[RunState] = []
         self.strategy = config.strategy
         self.tau = config.tau_cycles
+        #: Recovered work groups ``(rows, width)`` fed back into the warps on
+        #: a resume run (see :mod:`repro.faults.recovery`).  Consumed after
+        #: ``edges`` with the same chunked fetch protocol.
+        self.extra_groups: list = [
+            (np.asarray(rows, dtype=np.int64), int(width))
+            for rows, width in (extra_groups or [])
+            if len(rows)
+        ]
+        self._extra_idx = 0
+        self._extra_cursor = 0
+        #: Host-side multiset of in-flight ``Q_task`` triples.  Armed only
+        #: when the config carries a fault plan or retry policy: it lets the
+        #: dequeue path *detect* corrupted ring slots (membership check) and
+        #: lets recovery re-create lost tasks even when the ring itself was
+        #: poisoned.  ``None`` keeps the fault-free fast path unchanged.
+        self.journal: Optional[dict[Task, int]] = (
+            {}
+            if (config.fault_plan is not None or config.retry is not None)
+            else None
+        )
 
     # ------------------------------------------------------------------ #
     # Termination
@@ -131,9 +173,75 @@ class MatchJob:
         """True when no initial edges, queued tasks, or busy warps remain."""
         if self.cursor < len(self.edges):
             return False
+        if self._extra_idx < len(self.extra_groups):
+            return False
         if self.queue is not None and self.queue.num_tasks > 0:
             return False
         return self.busy == 0
+
+    # ------------------------------------------------------------------ #
+    # Recovery support (see repro.faults.recovery)
+    # ------------------------------------------------------------------ #
+
+    def pending_initial(self) -> list:
+        """Unfetched initial work as ``(rows, width)`` groups."""
+        groups: list = []
+        if self.cursor < len(self.edges):
+            groups.append((self.edges[self.cursor :], self.prefix_width))
+        idx, cur = self._extra_idx, self._extra_cursor
+        while idx < len(self.extra_groups):
+            rows, width = self.extra_groups[idx]
+            if cur < len(rows):
+                groups.append((rows[cur:], width))
+            idx += 1
+            cur = 0
+        return groups
+
+    def _next_extra_chunk(self) -> Optional[tuple]:
+        """Claim the next chunk of recovered rows (warp fetch protocol)."""
+        while self._extra_idx < len(self.extra_groups):
+            rows, width = self.extra_groups[self._extra_idx]
+            if self._extra_cursor < len(rows):
+                lo = self._extra_cursor
+                hi = min(lo + self.config.chunk_size, len(rows))
+                self._extra_cursor = hi
+                return rows[lo:hi], width
+            self._extra_idx += 1
+            self._extra_cursor = 0
+        return None
+
+    def _journal_add(self, task: Task) -> None:
+        if self.journal is not None:
+            self.journal[task] = self.journal.get(task, 0) + 1
+
+    def _validate_task(self, task: Task) -> None:
+        """Detect corrupted ring slots (range check + journal membership).
+
+        Runs on every dequeue; raising here models the illegal memory
+        access a real kernel would hit when chasing a torn task's bogus
+        vertex id.  On success the task is checked out of the journal.
+        """
+        n = self.graph.num_vertices
+        ok = (
+            0 <= task.v1 < n
+            and 0 <= task.v2 < n
+            and (task.v3 == PLACEHOLDER or 0 <= task.v3 < n)
+        )
+        if self.journal is not None:
+            if ok and self.journal.get(task, 0) > 0:
+                left = self.journal[task] - 1
+                if left:
+                    self.journal[task] = left
+                else:
+                    del self.journal[task]
+                return
+            raise IllegalAccessError(
+                f"corrupted Q_task slot: dequeued {tuple(task)}"
+            )
+        if not ok:
+            raise IllegalAccessError(
+                f"corrupted Q_task slot: dequeued {tuple(task)}"
+            )
 
     # ------------------------------------------------------------------ #
     # Warp main loop
@@ -151,6 +259,7 @@ class MatchJob:
                 task, cycles = self.queue.dequeue()
                 warp.charge(cycles)
                 if task is not None:
+                    self._validate_task(task)
                     warp.stats.tasks_dequeued += 1
                     self.busy += 1
                     st.busy_flag = True
@@ -170,6 +279,35 @@ class MatchJob:
                     warp.stats.chunks += 1
                     chunk = self.edges[lo:hi]
                     if not self.prefiltered and self.prefix_width == 2:
+                        chunk, cycles = filter_chunk(
+                            self.graph,
+                            self.plan,
+                            chunk,
+                            cost,
+                            prune_degree=self.config.enable_edge_filter,
+                        )
+                        warp.charge(cycles)
+                    if len(chunk):
+                        self.busy += 1
+                        st.busy_flag = True
+                        yield from self._process_chunk(warp, st, chunk)
+                        st.busy_flag = False
+                        self.busy -= 1
+                        self.gpu.note_work_done(warp.now)
+                    continue
+            # Priority 2b: recovered work groups (resume after a fault).
+            if self._extra_idx < len(self.extra_groups):
+                yield warp.sync()
+                fetched = self._next_extra_chunk()
+                if fetched is not None:
+                    rows, width = fetched
+                    warp.charge(cost.chunk_fetch)
+                    warp.stats.chunks += 1
+                    chunk = rows
+                    if width == 2:
+                        # Re-applying the edge filter is idempotent: rows
+                        # that already passed it pass again, raw rows from
+                        # an unfetched tail get filtered for the first time.
                         chunk, cycles = filter_chunk(
                             self.graph,
                             self.plan,
@@ -263,10 +401,19 @@ class MatchJob:
             return
         _, prefix, candidates = pending
         p = len(prefix)
-        for c in candidates:
-            st.path[: p] = prefix
+        # Track position in aux state so a recovery snapshot sees exactly
+        # the not-yet-processed candidates (the in-progress one is covered
+        # by the item's own level/inflight state).
+        st.aux_prefix = list(prefix)
+        st.aux_cands = candidates
+        st.aux_pos = 0
+        while st.aux_pos < len(st.aux_cands):
+            c = st.aux_cands[st.aux_pos]
+            st.aux_pos += 1
+            st.path[:p] = st.aux_prefix
             st.path[p] = int(c)
             yield from self._process_item(warp, st, p + 1)
+        st.aux_cands = None
 
     # ------------------------------------------------------------------ #
     # The DFS over one work item (Algorithm 2 core + Algorithm 4 timeout)
@@ -293,6 +440,7 @@ class MatchJob:
             st.iters[p] = 0
         if prefix_len == k - 1:
             # The item's first unfilled position is the leaf: bulk count.
+            st.inflight = prefix_len  # level.write may abort mid-expansion
             raw, cycles = self._raw(st, prefix_len)
             level = st.stack.level(prefix_len)
             cycles += level.write(raw, cost)
@@ -306,6 +454,7 @@ class MatchJob:
             )
             warp.charge(cycles + leaf_cycles)
             self._emit_leaves(warp, st, leaves, prefix_len)
+            st.inflight = None
             return
 
         pos = prefix_len
@@ -341,6 +490,7 @@ class MatchJob:
                 st.path[pos] = v
                 nxt = pos + 1
                 if nxt == k - 1:
+                    st.inflight = nxt  # level.write may abort mid-expansion
                     raw, cycles = self._raw(st, nxt)
                     level = st.stack.level(nxt)
                     cycles += level.write(raw, cost)
@@ -354,6 +504,7 @@ class MatchJob:
                     )
                     warp.charge(cost.step + cycles + leaf_cycles)
                     self._emit_leaves(warp, st, leaves, nxt)
+                    st.inflight = None
                 else:
                     pos = nxt
                     launched = yield from self._fill(warp, st, pos)
@@ -445,6 +596,10 @@ class MatchJob:
         if self.strategy is Strategy.HALF_STEAL:
             # STMatch: the warp locks its own stack on every access.
             cycles += cost.lock_acquire
+        # Until filtered/iters take ownership below, the subtree rooted at
+        # path[:pos] is only reachable through the inflight marker — a stack
+        # page allocation inside level.write may abort right here.
+        st.inflight = pos
         raw, raw_cycles = self._raw(st, pos)
         level = st.stack.level(pos)
         cycles += raw_cycles + level.write(raw, cost)
@@ -460,6 +615,7 @@ class MatchJob:
         warp.charge(cycles + filter_cycles)
         st.filtered[pos] = filtered
         st.iters[pos] = 0
+        st.inflight = None
         if (
             self.strategy is Strategy.NEW_KERNEL
             and len(filtered) > self.config.new_kernel_fanout
@@ -501,18 +657,20 @@ class MatchJob:
         warp.stats.timeouts += 1
         v1, v2 = st.path[0], st.path[1]
         f = st.filtered[pos]
-        j = st.iters[pos]
-        while j < len(f):
+        # st.iters[pos] is kept in sync inside the loop (not a local copy):
+        # once a task is enqueued its candidate is owned by the queue, and a
+        # fault at the next yield must not see it on the stack as well.
+        while st.iters[pos] < len(f):
             yield warp.sync()
-            ok, cycles = self.queue.enqueue(Task(v1, v2, int(f[j])))
+            task = Task(v1, v2, int(f[st.iters[pos]]))
+            ok, cycles = self.queue.enqueue(task)
             warp.charge(cycles)
             if not ok:
                 st.t0 = warp.now
-                st.iters[pos] = j
                 return False
+            self._journal_add(task)
             warp.stats.tasks_enqueued += 1
-            j += 1
-        st.iters[pos] = j
+            st.iters[pos] += 1
         return True
 
     def _enqueue_remaining_edges(
@@ -523,11 +681,13 @@ class MatchJob:
         while st.chunk_pos < len(st.chunk):
             edge = st.chunk[st.chunk_pos]
             yield warp.sync()
-            ok, cycles = self.queue.enqueue(Task.edge(int(edge[0]), int(edge[1])))
+            task = Task.edge(int(edge[0]), int(edge[1]))
+            ok, cycles = self.queue.enqueue(task)
             warp.charge(cycles)
             if not ok:
                 st.t0 = warp.now
                 return False
+            self._journal_add(task)
             warp.stats.tasks_enqueued += 1
             st.chunk_pos += 1
         return True
@@ -597,10 +757,17 @@ class MatchJob:
     def _spawn_child_kernel(
         self, warp: Warp, st: RunState, pos: int
     ) -> Generator[int, None, None]:
-        """Hand the just-filled level to a freshly launched child kernel."""
+        """Hand the just-filled level to a freshly launched child kernel.
+
+        Ordering matters for recovery: until the children's run states are
+        registered, the parent still owns the whole level (its allocations
+        below may OOM); ownership transfers to the children *before* the
+        launch calls, so a launch failure (injected or real) leaves every
+        candidate reachable — registered children hold their slices, and
+        never-launched children simply never ran.
+        """
         cost = self.cost
         candidates = st.filtered[pos]
-        st.iters[pos] = len(candidates)  # parent skips this level
         prefix = [int(x) for x in st.path[:pos]]
         n_warps = min(MAX_CHILD_WARPS, (len(candidates) + 31) // 32)
         yield warp.sync()
@@ -615,32 +782,41 @@ class MatchJob:
             warp.charge(cost.alloc_cost(max(self.child_stack_bytes, 1024)))
         warp.charge(cost.kernel_launch)
         start = warp.now + cost.kernel_launch
+        children = []
+        for idx in range(n_warps):
+            cst = RunState(
+                self.plan.num_levels,
+                WarpStack(self.plan.num_levels, self.level_factory),
+            )
+            cst.aux_prefix = list(prefix)
+            cst.aux_cands = candidates[idx::n_warps]
+            cst.aux_pos = 0
+            self.run_states.append(cst)
+            children.append(cst)
+        st.iters[pos] = len(candidates)  # ownership handed to the children
         self.busy += n_warps
         for idx in range(n_warps):
             handle = handles[idx] if handles else None
-            body = self._child_body(prefix, candidates[idx::n_warps], pos, handle)
+            body = self._child_body(children[idx], pos, handle)
             self.gpu.launch_child_kernel(body, count=1, at=start)
 
     def _child_body(
         self,
-        prefix: list[int],
-        candidates: np.ndarray,
+        cst: RunState,
         pos: int,
         mem_handle: Optional[int],
     ):
         def body(warp: Warp) -> Generator[int, None, None]:
-            st = RunState(
-                self.plan.num_levels,
-                WarpStack(self.plan.num_levels, self.level_factory),
-            )
-            self.run_states.append(st)
-            st.busy_flag = True
-            st.t0 = warp.now
-            for c in candidates:
-                st.path[: pos] = prefix
-                st.path[pos] = int(c)
-                yield from self._process_item(warp, st, pos + 1)
-            st.busy_flag = False
+            cst.busy_flag = True
+            cst.t0 = warp.now
+            while cst.aux_pos < len(cst.aux_cands):
+                c = cst.aux_cands[cst.aux_pos]
+                cst.aux_pos += 1
+                cst.path[:pos] = cst.aux_prefix
+                cst.path[pos] = int(c)
+                yield from self._process_item(warp, cst, pos + 1)
+            cst.aux_cands = None
+            cst.busy_flag = False
             yield warp.sync()
             self.busy -= 1
             if mem_handle is not None:

@@ -1,0 +1,244 @@
+"""The fault injector: installs a :class:`FaultPlan`'s hooks into gpusim.
+
+One :class:`FaultInjector` instance covers one *attempt* on one virtual
+device.  It wires itself into the four injection surfaces:
+
+* :class:`~repro.gpusim.memory.DeviceMemory` — ``fault_hook`` raises
+  :class:`DeviceOOMError` before an allocation commits;
+* :class:`~repro.gpusim.scheduler.Scheduler` — ``resume_hook`` throws
+  :class:`IllegalAccessError` into a warp at its suspension point (a
+  consistent state for recovery snapshots) and ``charge_hook`` stretches a
+  straggler warp's cycles;
+* :class:`~repro.gpusim.device.VirtualGPU` — ``launch_hook`` raises
+  :class:`KernelLaunchError` before warps are created;
+* :class:`~repro.taskqueue.ring.LockFreeTaskQueue` — ``fault_hook``
+  charges CAS-storm cycles and poisons ring slots in place (torn writes,
+  detected by the dequeuing warp's validation).
+
+All randomness comes from per-site streams seeded by
+:meth:`FaultPlan.stream_seed`, so identical (plan, device, attempt) triples
+replay identical faults.  Every fired fault is tallied in
+:attr:`injected` for the survival report.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.errors import DeviceOOMError, IllegalAccessError, KernelLaunchError
+from repro.faults.plan import FATAL_KINDS, FaultKind, FaultPlan
+
+#: Out-of-range vertex id written over a corrupted ring slot.  Any value
+#: that is not ``EMPTY`` keeps Algorithm 3's slot hand-off intact while
+#: failing the dequeuer's range validation.
+POISON_VALUE = 2**31 - 7
+
+
+class FaultInjector:
+    """Hooks one attempt of one device up to a :class:`FaultPlan`."""
+
+    def __init__(
+        self, plan: FaultPlan, gpu, gpu_name: str, attempt: int
+    ) -> None:
+        self.plan = plan
+        self.gpu = gpu
+        self.gpu_name = gpu_name
+        self.attempt = int(attempt)
+        self.injected: dict[str, int] = {}
+        self._streams: dict[str, random.Random] = {}
+        self._ops: dict[str, int] = {}
+        self._fired_specs: set[int] = set()
+        self._stall_factor: dict[int, float] = {}
+        self._fatal_fired = False
+        # Install the hooks.
+        gpu.memory.fault_hook = self._on_alloc
+        gpu.scheduler.resume_hook = self._on_resume
+        gpu.scheduler.charge_hook = self._on_charge
+        gpu.launch_hook = self._on_launch
+
+    def attach_queue(self, queue) -> None:
+        """Hook ``Q_task`` once the engine has created it."""
+        queue.fault_hook = self
+
+    # ------------------------------------------------------------------ #
+    # Bookkeeping
+    # ------------------------------------------------------------------ #
+
+    def _rng(self, site: str) -> random.Random:
+        rng = self._streams.get(site)
+        if rng is None:
+            rng = random.Random(
+                self.plan.stream_seed(self.gpu_name, self.attempt, site)
+            )
+            self._streams[site] = rng
+        return rng
+
+    def _next_op(self, site: str) -> int:
+        op = self._ops.get(site, 0)
+        self._ops[site] = op + 1
+        return op
+
+    def _record(self, kind: FaultKind) -> None:
+        key = kind.value
+        self.injected[key] = self.injected.get(key, 0) + 1
+        if kind in FATAL_KINDS:
+            self._fatal_fired = True
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    @property
+    def fatal_injected(self) -> int:
+        return sum(
+            n
+            for k, n in self.injected.items()
+            if FaultKind(k) in FATAL_KINDS
+        )
+
+    @property
+    def nonfatal_injected(self) -> int:
+        return self.total_injected - self.fatal_injected
+
+    def _spec_due(
+        self,
+        kind: FaultKind,
+        op: int,
+        now: int,
+        warp_id: Optional[int] = None,
+    ):
+        """First unfired schedule entry of ``kind`` due at this operation."""
+        for idx, spec in enumerate(self.plan.schedule):
+            if spec.kind is not kind or idx in self._fired_specs:
+                continue
+            if not spec.matches(self.gpu_name, self.attempt):
+                continue
+            if spec.warp is not None and spec.warp != warp_id:
+                continue
+            if spec.at_op is not None:
+                if op != spec.at_op:
+                    continue
+            elif spec.at_cycle is not None:
+                if now < spec.at_cycle:
+                    continue
+            # No trigger fields: due at the first opportunity.
+            self._fired_specs.add(idx)
+            return spec
+        return None
+
+    def _roll(self, site: str, rate: float) -> bool:
+        if rate <= 0.0:
+            return False
+        return self._rng(site).random() < rate
+
+    # ------------------------------------------------------------------ #
+    # Hook bodies
+    # ------------------------------------------------------------------ #
+
+    def _on_alloc(self, memory, nbytes: int, tag: str) -> None:
+        op = self._next_op("alloc")
+        now = self.gpu.scheduler.now
+        due = self._spec_due(FaultKind.OOM, op, now)
+        if due is None and not self._fatal_fired:
+            if self._roll("alloc", self.plan.oom_rate):
+                due = True
+        if due:
+            self._record(FaultKind.OOM)
+            raise DeviceOOMError(
+                nbytes, memory.free, what=f"{tag} [injected fault]"
+            )
+
+    def _on_resume(self, warp, time: int) -> Optional[BaseException]:
+        op = self._next_op("resume")
+        wid = getattr(warp, "wid", None)
+        due = self._spec_due(FaultKind.ILLEGAL_ACCESS, op, time, warp_id=wid)
+        if due is None and not self._fatal_fired:
+            if self._roll("resume", self.plan.illegal_access_rate):
+                due = True
+        if due:
+            self._record(FaultKind.ILLEGAL_ACCESS)
+            return IllegalAccessError(
+                f"injected illegal access on {self.gpu_name} warp {wid} "
+                f"at cycle {time}"
+            )
+        return None
+
+    def _on_charge(self, warp, spent: int) -> int:
+        wid = getattr(warp, "wid", 0)
+        factor = self._stall_factor.get(wid)
+        if factor is None:
+            factor = 1.0
+            spec = self._stall_spec(wid)
+            if spec is not None:
+                factor = spec.factor
+            elif self._roll(f"stall:{wid}", self.plan.stall_rate):
+                factor = self.plan.stall_factor
+            if factor != 1.0:
+                self._record(FaultKind.STALL)
+            self._stall_factor[wid] = factor
+        if factor == 1.0:
+            return spent
+        return int(spent * factor)
+
+    def _stall_spec(self, wid: int):
+        """Unfired STALL schedule entry for this warp (``warp=None`` = the
+        first warp that charges cycles)."""
+        for idx, spec in enumerate(self.plan.schedule):
+            if spec.kind is not FaultKind.STALL or idx in self._fired_specs:
+                continue
+            if not spec.matches(self.gpu_name, self.attempt):
+                continue
+            if spec.warp is not None and spec.warp != wid:
+                continue
+            self._fired_specs.add(idx)
+            return spec
+        return None
+
+    def _on_launch(self, count: Optional[int], at: Optional[int]) -> None:
+        op = self._next_op("launch")
+        now = self.gpu.scheduler.now
+        due = self._spec_due(FaultKind.KERNEL_LAUNCH, op, now)
+        if due is None and not self._fatal_fired:
+            if self._roll("launch", self.plan.kernel_launch_rate):
+                due = True
+        if due:
+            self._record(FaultKind.KERNEL_LAUNCH)
+            raise KernelLaunchError(
+                f"injected launch failure on {self.gpu_name} "
+                f"({count} warps at t={at})"
+            )
+
+    # Queue hook protocol (LockFreeTaskQueue.fault_hook) ----------------- #
+
+    def on_enqueue(self, queue, pos: int) -> int:
+        op = self._next_op("enqueue")
+        now = self.gpu.scheduler.now
+        extra = 0
+        storm = self._spec_due(FaultKind.CAS_STORM, op, now)
+        if storm is not None:
+            extra += int(storm.cycles)
+            self._record(FaultKind.CAS_STORM)
+        elif self._roll("cas", self.plan.cas_storm_rate):
+            extra += int(self.plan.cas_storm_cycles)
+            self._record(FaultKind.CAS_STORM)
+        due = self._spec_due(FaultKind.QUEUE_CORRUPTION, op, now)
+        if due is None and not self._fatal_fired:
+            if self._roll("corrupt", self.plan.queue_corruption_rate):
+                due = True
+        if due:
+            # Torn write: clobber one of the task's three slots with an
+            # out-of-range vertex id.  The slot protocol stays intact; the
+            # dequeuing warp's validation turns this into a detected
+            # IllegalAccessError.
+            offset = self._rng("corrupt-slot").randrange(3)
+            queue.ring.store(pos + offset, POISON_VALUE)
+            self._record(FaultKind.QUEUE_CORRUPTION)
+        return extra
+
+    def on_dequeue(self, queue, pos: int) -> int:
+        op = self._next_op("dequeue")
+        if self._roll("cas-deq", self.plan.cas_storm_rate):
+            self._record(FaultKind.CAS_STORM)
+            return int(self.plan.cas_storm_cycles)
+        return 0

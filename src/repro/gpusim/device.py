@@ -114,6 +114,10 @@ class VirtualGPU:
         self.warps: list[Warp] = []
         self.finish_time = 0
         self.kernel_launches = 0
+        #: Fault-injection hook (see :mod:`repro.faults`): called as
+        #: ``hook(count, at)`` before warps are created and may raise
+        #: :class:`~repro.errors.KernelLaunchError`.
+        self.launch_hook: Optional[Callable[[Optional[int], Optional[int]], None]] = None
         self.trace = None
         if trace:
             from repro.gpusim.trace import TraceRecorder
@@ -135,6 +139,8 @@ class VirtualGPU:
         child-kernel launch latency).
         """
         n = self.num_warps if count is None else int(count)
+        if self.launch_hook is not None:
+            self.launch_hook(n, at)
         created: list[Warp] = []
         for _ in range(n):
             warp = Warp(self, len(self.warps))

@@ -10,6 +10,7 @@ paper reports (EGSM on Friendster, New-Kernel stack allocations).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable, Optional
 
 from repro.errors import DeviceOOMError
 
@@ -31,6 +32,12 @@ class DeviceMemory:
     peak: int = 0
     allocations: dict[int, Allocation] = field(default_factory=dict)
     _next_id: int = 0
+    fault_hook: Optional[Callable[["DeviceMemory", int, str], None]] = field(
+        default=None, repr=False, compare=False
+    )
+    """Fault-injection hook (see :mod:`repro.faults`): called as
+    ``hook(memory, nbytes, tag)`` before each allocation and may raise
+    :class:`DeviceOOMError` to simulate a failing device allocator."""
 
     @property
     def free(self) -> int:
@@ -44,6 +51,8 @@ class DeviceMemory:
         nbytes = int(nbytes)
         if nbytes < 0:
             raise ValueError("allocation size must be non-negative")
+        if self.fault_hook is not None:
+            self.fault_hook(self, nbytes, tag)
         if self.used + nbytes > self.capacity:
             raise DeviceOOMError(nbytes, self.free, what=tag)
         self.used += nbytes

@@ -16,7 +16,7 @@ of interactions, not the number of search-tree nodes.
 from __future__ import annotations
 
 import heapq
-from typing import Generator, Optional
+from typing import Callable, Generator, Optional
 
 from repro.errors import DeviceError
 
@@ -35,6 +35,16 @@ class Scheduler:
         self.now = 0
         self.events = 0
         self.completed = 0
+        #: Fault-injection hooks (see :mod:`repro.faults`).  ``resume_hook``
+        #: is consulted before each warp resumption and may return an
+        #: exception to throw into the warp (a mid-task illegal access);
+        #: ``charge_hook`` may stretch the cycles a warp just spent (a
+        #: straggler/stall slowdown).  Both default to None — the scheduler
+        #: is byte-identical to the unhooked one when no plan is armed.
+        self.resume_hook: Optional[
+            Callable[[object, int], Optional[BaseException]]
+        ] = None
+        self.charge_hook: Optional[Callable[[object, int], int]] = None
 
     def spawn(self, warp: object, body: WarpBody, at: Optional[int] = None) -> None:
         """Register a warp generator to start at virtual time ``at``.
@@ -57,6 +67,12 @@ class Scheduler:
             if setter is not None:
                 setter(time)
             try:
+                if self.resume_hook is not None:
+                    exc = self.resume_hook(warp, time)
+                    if exc is not None:
+                        # Deliver the fault at the warp's suspension point —
+                        # a consistent state for the recovery snapshot.
+                        body.throw(exc)
                 spent = body.send(None)
             except StopIteration:
                 self.completed += 1
@@ -64,6 +80,8 @@ class Scheduler:
                 if finisher is not None:
                     finisher(time)
                 continue
+            if self.charge_hook is not None:
+                spent = self.charge_hook(warp, spent)
             self.events += 1
             if self.events > max_events:
                 raise DeviceError(

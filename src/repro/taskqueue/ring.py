@@ -64,6 +64,11 @@ class LockFreeTaskQueue:
         self.front = AtomicInt(0)
         self.back = AtomicInt(0)
         self.cost = cost or DEFAULT_COST_MODEL
+        #: Fault-injection hook (see :mod:`repro.faults`): an object with
+        #: ``on_enqueue(queue, pos)`` / ``on_dequeue(queue, pos)`` methods
+        #: returning extra cycles (CAS storms) and free to corrupt ring
+        #: slots in place (torn writes).  None = faithful Algorithm 3.
+        self.fault_hook = None
         # Statistics used by the ablation benches.
         self.enqueued = 0
         self.dequeued = 0
@@ -106,6 +111,8 @@ class LockFreeTaskQueue:
                 if spins > _MAX_SPINS:
                     raise ReproError("queue enqueue livelock (slot never cleared)")
             cycles += c.task_copy
+        if self.fault_hook is not None:
+            cycles += self.fault_hook.on_enqueue(self, pos)
         self.enqueued += 1
         self.peak_tasks = max(self.peak_tasks, self.num_tasks)
         return True, cycles
@@ -133,6 +140,8 @@ class LockFreeTaskQueue:
                     raise ReproError("queue dequeue livelock (slot never filled)")
             values.append(value)
             cycles += c.task_copy
+        if self.fault_hook is not None:
+            cycles += self.fault_hook.on_dequeue(self, pos)
         self.dequeued += 1
         return Task(*values), cycles
 
