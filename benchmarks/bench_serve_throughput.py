@@ -1,0 +1,83 @@
+"""Serving-layer throughput: plan/result caching vs cold execution.
+
+Not a paper table — this measures the ``repro.serve`` subsystem added on
+top of the reproduction: a repeated workload (3 patterns cycled) replayed
+against a :class:`~repro.serve.MatchService`, once with the plan and
+result caches enabled and once fully cold.  The cached arm should show a
+large throughput win (most requests are result-cache hits; nearly all
+plan compiles are amortized) at identical match counts.
+
+Wall-clock here is *host* time — the service, queue, and caches are real
+concurrent code even though each match runs on the virtual GPU.
+"""
+
+from conftest import pedantic
+
+from repro.bench.harness import quick_mode
+from repro.bench.reporting import Table
+from repro.core.config import TDFSConfig
+from repro.core.engine import match
+from repro.graph.datasets import DATASETS, load_dataset
+from repro.serve import MatchRequest, MatchService, ServeConfig
+
+DATASET = "web-google"
+PATTERNS = ["P1", "P2", "P7"]
+
+
+def replay(service, graph_id: str, n_requests: int):
+    tickets = [
+        service.submit(
+            MatchRequest(graph_id=graph_id, query=PATTERNS[i % len(PATTERNS)])
+        )
+        for i in range(n_requests)
+    ]
+    return [t.result(timeout=600.0) for t in tickets]
+
+
+def run_serve_throughput() -> Table:
+    n_requests = 60 if quick_mode() else 300
+    graph = load_dataset(DATASET)
+    match_config = TDFSConfig(
+        num_warps=8, device_memory=DATASETS[DATASET].device_memory
+    )
+    expected = {
+        p: match(graph, p, config=match_config).count for p in PATTERNS
+    }
+
+    table = Table(
+        f"serve throughput: {DATASET}, {'x'.join(PATTERNS)} x {n_requests}",
+        ["caches", "req/s", "mean ms", "p95 ms", "result hits", "compiles"],
+    )
+    counts_ok = True
+    for cached in (True, False):
+        service = MatchService(
+            ServeConfig(
+                workers=2,
+                enable_plan_cache=cached,
+                enable_result_cache=cached,
+                match_config=match_config,
+            )
+        )
+        with service:
+            service.register_graph(DATASET, graph)
+            responses = replay(service, DATASET, n_requests)
+            snap = service.snapshot()
+        counts_ok &= all(r.count == expected[r.query_name] for r in responses)
+        table.add_row(
+            "on" if cached else "off",
+            f"{snap['qps']:.1f}",
+            f"{snap['latency_ms']['mean']:.2f}",
+            f"{snap['latency_ms']['p95']:.2f}",
+            str(snap["counters"]["result_cache_hits"]),
+            str(snap["counters"]["plan_compiles"]),
+        )
+    table.add_note(
+        "counts identical to one-shot match() on both arms: "
+        + ("yes" if counts_ok else "NO")
+    )
+    assert counts_ok
+    return table
+
+
+def test_serve_throughput(benchmark, report):
+    report(pedantic(benchmark, run_serve_throughput))

@@ -19,7 +19,7 @@ regeneration of every table and figure in the paper's evaluation.
 """
 
 from repro.core.config import StackMode, Strategy, TDFSConfig
-from repro.core.engine import TDFSEngine, match
+from repro.core.engine import TDFSEngine, available_engines, match
 from repro.core.result import MatchResult, RecoveryStats
 from repro.faults import FaultKind, FaultPlan, FaultSpec, RetryPolicy
 from repro.graph.builder import GraphBuilder, from_edges, relabel_random
@@ -55,6 +55,7 @@ __all__ = [
     "FaultSpec",
     "RetryPolicy",
     "match",
+    "available_engines",
     "DATASETS",
     "dataset_names",
     "load_dataset",

@@ -124,17 +124,21 @@ class CPUEngine:
     def __init__(self, config: Optional[TDFSConfig] = None) -> None:
         self.config = config or TDFSConfig()
 
+    def compile(self, query: Union[QueryGraph, MatchingPlan]) -> MatchingPlan:
+        """Compile ``query`` exactly as :meth:`run` would (reuse is a
+        device-side optimization; the serial reference never applies it)."""
+        if isinstance(query, MatchingPlan):
+            return query
+        return compile_plan(
+            query,
+            enable_symmetry=self.config.enable_symmetry,
+            enable_reuse=False,
+        )
+
     def run(
         self, graph: CSRGraph, query: Union[QueryGraph, MatchingPlan]
     ) -> MatchResult:
-        if isinstance(query, MatchingPlan):
-            plan = query
-        else:
-            plan = compile_plan(
-                query,
-                enable_symmetry=self.config.enable_symmetry,
-                enable_reuse=False,
-            )
+        plan = self.compile(query)
         if plan.is_labeled and not graph.is_labeled:
             raise UnsupportedError("labeled query on an unlabeled data graph")
         count = cpu_count(graph, plan)

@@ -54,13 +54,16 @@ class PBEEngine:
 
     # ------------------------------------------------------------------ #
 
+    def compile(self, query: Union[QueryGraph, MatchingPlan]) -> MatchingPlan:
+        """Compile ``query`` exactly as :meth:`run` would."""
+        if isinstance(query, MatchingPlan):
+            return query
+        return compile_plan(query, enable_symmetry=True, enable_reuse=False)
+
     def run(
         self, graph: CSRGraph, query: Union[QueryGraph, MatchingPlan]
     ) -> MatchResult:
-        if isinstance(query, MatchingPlan):
-            plan = query
-        else:
-            plan = compile_plan(query, enable_symmetry=True, enable_reuse=False)
+        plan = self.compile(query)
         if plan.is_labeled:
             raise UnsupportedError(
                 "PBE only supports unlabeled subgraph matching (paper IV-B)"

@@ -39,7 +39,12 @@ def fault_seed() -> Optional[int]:
     raw = os.environ.get("REPRO_FAULT_SEED", "")
     if raw == "":
         return None
-    return int(raw)
+    try:
+        return int(raw)
+    except ValueError:
+        raise ReproError(
+            f"REPRO_FAULT_SEED must be an integer seed, got {raw!r}"
+        ) from None
 
 
 def patterns_for(full: list[str], quick: Optional[list[str]] = None) -> list[str]:

@@ -16,16 +16,25 @@ Commands
         python -m repro run --dataset pokec --pattern P1 --engine stmatch
         python -m repro run --dataset friendster --pattern P9 --labels 8 \\
             --engine egsm --gpus 2
+``serve``
+    Run the async matching service (``repro.serve``) over a replayed or
+    generated workload; ``--smoke`` runs the self-checking cache demo::
+
+        python -m repro serve --smoke
+        python -m repro serve --dataset dblp --workload reqs.jsonl
+``chaos``
+    Run under deterministic fault injection and report survival.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Optional, Sequence
 
 from repro.core.config import StackMode, Strategy, TDFSConfig
-from repro.core.engine import match
+from repro.core.engine import available_engines, make_engine, match
 from repro.errors import ReproError
 from repro.graph.analysis import compute_stats
 from repro.graph.datasets import DATASETS, load_dataset
@@ -78,8 +87,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
     config = config.replace(device_memory=DATASETS[args.dataset].device_memory)
     num_labels: Optional[int] = args.labels
     graph = load_dataset(args.dataset, num_labels=num_labels)
-    result = match(graph, args.pattern, engine=args.engine, config=config)
+    # Compile the plan separately (through the engine, so engine-specific
+    # plan flags hold) to report plan time and match time independently —
+    # the former is the cost a serving-layer plan-cache hit avoids.
+    engine = make_engine(args.engine, config)
+    t0 = time.perf_counter()
+    plan = engine.compile(get_pattern(args.pattern))
+    compile_ms = (time.perf_counter() - t0) * 1000.0
+    result = engine.run(graph, plan)
     print(result.summary())
+    print(f"  compile (host)    : {compile_ms:.3f} ms")
+    print(f"  match (virtual)   : {result.elapsed_ms:.3f} ms")
     if args.verbose and not result.failed:
         print(f"  embeddings        : {result.count_embeddings}")
         print(f"  busy/idle cycles  : {result.busy_cycles}/{result.idle_cycles}")
@@ -88,6 +106,151 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"  stack bytes       : {result.memory.stack_bytes}")
         print(f"  device peak bytes : {result.memory.device_peak_bytes}")
     return 1 if result.failed else 0
+
+
+def _load_workload(path: str) -> list[dict]:
+    """Parse a JSON-lines workload file into request spec dicts.
+
+    Each line: ``{"pattern": "P1", "repeat": 10, "engine": "tdfs",
+    "priority": 0, "deadline_ms": null}`` (all but ``pattern`` optional).
+    """
+    import json
+
+    specs: list[dict] = []
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                spec = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ReproError(f"{path}:{lineno}: bad workload line: {exc}")
+            if "pattern" not in spec:
+                raise ReproError(f"{path}:{lineno}: workload line needs 'pattern'")
+            specs.append(spec)
+    return specs
+
+
+def _replay(service, graph_id: str, specs: list[dict], default_engine: str):
+    """Submit every workload spec (expanded by ``repeat``), wait for all."""
+    from repro.serve import MatchRequest
+
+    tickets = []
+    for spec in specs:
+        for _ in range(int(spec.get("repeat", 1))):
+            tickets.append(
+                service.submit(
+                    MatchRequest(
+                        graph_id=graph_id,
+                        query=spec["pattern"],
+                        engine=spec.get("engine", default_engine),
+                        priority=int(spec.get("priority", 0)),
+                        deadline_ms=spec.get("deadline_ms"),
+                    )
+                )
+            )
+    return [t.result(timeout=600.0) for t in tickets]
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import MatchService, ServeConfig
+
+    patterns = [p.strip() for p in args.patterns.split(",") if p.strip()]
+    graph = load_dataset(args.dataset, num_labels=args.labels)
+    match_config = TDFSConfig(
+        num_warps=args.warps,
+        device_memory=DATASETS[args.dataset].device_memory,
+    )
+
+    def build_service(cached: bool) -> MatchService:
+        return MatchService(
+            ServeConfig(
+                workers=args.workers,
+                max_queue=args.max_queue,
+                batch_window_ms=args.window_ms,
+                enable_plan_cache=cached,
+                enable_result_cache=cached,
+                match_config=match_config,
+            )
+        )
+
+    if args.workload:
+        specs = _load_workload(args.workload)
+    else:
+        specs = [
+            {"pattern": patterns[i % len(patterns)]} for i in range(args.requests)
+        ]
+
+    if not args.smoke:
+        with build_service(cached=not args.no_cache) as service:
+            service.register_graph(args.dataset, graph)
+            responses = _replay(service, args.dataset, specs, args.engine)
+            print(service.render_metrics(), end="")
+            failed = [r for r in responses if not r.ok]
+            print(f"requests         : {len(responses)} ({len(failed)} failed)")
+        return 1 if failed else 0
+
+    # ---- smoke: the repeated-workload acceptance demo ------------------- #
+    print(
+        f"=== repro serve --smoke: {args.dataset}, "
+        f"{'x'.join(patterns)} x {len(specs)} requests, "
+        f"{args.workers} workers ==="
+    )
+    baselines = {
+        p: match(graph, p, engine=args.engine, config=match_config).count
+        for p in patterns
+    }
+
+    with build_service(cached=True) as service:
+        service.register_graph(args.dataset, graph)
+        responses = _replay(service, args.dataset, specs, args.engine)
+        served = {p: None for p in patterns}
+        for r in responses:
+            served[r.query_name] = r.count
+        counts_ok = all(served[p] == baselines[p] for p in patterns)
+
+        # Batch-dynamic update: add edges, verify against one-shot match()
+        # on the updated graph (caches must not serve the old version).
+        delta = [(0, graph.num_vertices - 1 - i) for i in range(3)]
+        service.apply_edges(args.dataset, add=delta)
+        updated = service.graph(args.dataset)
+        update_ok = all(
+            service.query(args.dataset, p, engine=args.engine).count
+            == match(updated, p, engine=args.engine, config=match_config).count
+            for p in patterns
+        )
+
+        snap = service.snapshot()
+        completed = snap["counters"]["completed"]
+        compiles = snap["counters"]["plan_compiles"]
+        plan_hit_rate = 1.0 - compiles / completed if completed else 0.0
+        cached_mean = snap["latency_ms"]["mean"]
+        print(service.render_metrics(), end="")
+
+    with build_service(cached=False) as service:
+        service.register_graph(args.dataset, graph)
+        _replay(service, args.dataset, specs, args.engine)
+        uncached_mean = service.snapshot()["latency_ms"]["mean"]
+
+    print(f"counts match one-shot match() : {'yes' if counts_ok else 'NO'}")
+    print(f"counts match after apply_edges: {'yes' if update_ok else 'NO'}")
+    print(
+        f"plan cache hit rate           : {100.0 * plan_hit_rate:.1f}% "
+        f"({completed - compiles}/{completed} requests reused a plan)"
+    )
+    print(
+        f"mean latency                  : {cached_mean:.3f} ms cached vs "
+        f"{uncached_mean:.3f} ms uncached"
+    )
+    ok = (
+        counts_ok
+        and update_ok
+        and plan_hit_rate > 0.9
+        and cached_mean < uncached_mean
+    )
+    print(f"verdict                       : {'OK' if ok else 'FAIL'}")
+    return 0 if ok else 1
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -144,9 +307,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--dataset", required=True, choices=list(DATASETS))
     run_p.add_argument("--pattern", required=True)
     run_p.add_argument(
-        "--engine",
-        default="tdfs",
-        choices=["tdfs", "stmatch", "egsm", "pbe", "cpu", "hybrid"],
+        "--engine", default="tdfs", choices=list(available_engines())
     )
     run_p.add_argument("--labels", type=int, default=None,
                        help="override label count (0 = unlabeled)")
@@ -167,6 +328,37 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--no-edge-filter", action="store_true")
     run_p.add_argument("-v", "--verbose", action="store_true")
     run_p.set_defaults(func=_cmd_run)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the async matching service over a replayed workload",
+    )
+    serve_p.add_argument(
+        "--smoke", action="store_true",
+        help="repeated-workload demo: verify counts vs one-shot match(), "
+             "plan-cache hit rate, and cached-vs-uncached latency",
+    )
+    serve_p.add_argument("--dataset", default="web-google",
+                         choices=list(DATASETS))
+    serve_p.add_argument("--patterns", default="P1,P2,P7",
+                         help="comma-separated pattern names to cycle")
+    serve_p.add_argument("--requests", type=int, default=100,
+                         help="number of requests in the generated workload")
+    serve_p.add_argument(
+        "--engine", default="tdfs", choices=list(available_engines())
+    )
+    serve_p.add_argument("--labels", type=int, default=None)
+    serve_p.add_argument("--workers", type=int, default=2)
+    serve_p.add_argument("--warps", type=int, default=8)
+    serve_p.add_argument("--max-queue", type=int, default=256)
+    serve_p.add_argument("--window-ms", type=float, default=1.0,
+                         help="micro-batching linger window")
+    serve_p.add_argument("--no-cache", action="store_true",
+                         help="disable the plan and result caches")
+    serve_p.add_argument("--workload", default=None,
+                         help="JSON-lines workload file to replay instead "
+                              "of the generated pattern cycle")
+    serve_p.set_defaults(func=_cmd_serve)
 
     chaos_p = sub.add_parser(
         "chaos",

@@ -80,6 +80,15 @@ class TDFSEngine:
             graph, plan, edges, gpu_name="gpu0", collect_matches=collect_matches
         )
 
+    def compile(self, query: Union[QueryGraph, MatchingPlan]) -> MatchingPlan:
+        """Compile ``query`` exactly as :meth:`run` would.
+
+        Public so callers (the serving layer's plan cache, the CLI's
+        compile-time report) can separate plan compilation from matching;
+        precompiled plans pass through unchanged.
+        """
+        return self._resolve_plan(query)
+
     def _resolve_plan(self, query: Union[QueryGraph, MatchingPlan]) -> MatchingPlan:
         if isinstance(query, MatchingPlan):
             return query
@@ -571,9 +580,36 @@ def match(
     engines = _engine_registry()
     if engine not in engines:
         raise UnsupportedError(
-            f"unknown engine {engine!r}; available: {', '.join(engines)}"
+            f"unknown engine {engine!r}; available: "
+            f"{', '.join(available_engines())}"
         )
     return engines[engine](config).run(graph, query)
+
+
+def available_engines() -> tuple[str, ...]:
+    """Names of every registered engine, in registry order.
+
+    The single source of truth for engine names: the CLI's ``--engine``
+    choices and error messages and the serving layer
+    (:mod:`repro.serve`) all derive from this instead of hand-maintained
+    lists.
+    """
+    return tuple(_engine_registry())
+
+
+def make_engine(name: str, config: Optional[TDFSConfig] = None):
+    """Construct a fresh engine instance by registry name.
+
+    Engine objects are cheap to build but must not be shared across
+    threads — the serving layer's workers each construct their own.
+    """
+    engines = _engine_registry()
+    if name not in engines:
+        raise UnsupportedError(
+            f"unknown engine {name!r}; available: "
+            f"{', '.join(available_engines())}"
+        )
+    return engines[name](config)
 
 
 def _engine_registry():

@@ -26,6 +26,7 @@ from repro.faults.plan import (
 )
 from repro.faults.recovery import (
     cpu_resume_count,
+    deadline_policy,
     format_survival_report,
     pending_rows,
     reshard_groups,
@@ -45,6 +46,7 @@ __all__ = [
     "RUNG_CPU_FALLBACK",
     "RUNG_SHRINK_CHUNK",
     "cpu_resume_count",
+    "deadline_policy",
     "format_survival_report",
     "pending_rows",
     "reshard_groups",

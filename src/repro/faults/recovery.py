@@ -158,6 +158,62 @@ def cpu_resume_count(
 
 
 # --------------------------------------------------------------------------- #
+# Deadline hook (used by repro.serve)
+# --------------------------------------------------------------------------- #
+
+
+def deadline_policy(
+    remaining_ms: Optional[float],
+    deadline_ms: Optional[float],
+    base=None,
+) -> tuple:
+    """Fit a retry policy (and config degradations) to a request deadline.
+
+    The serving layer calls this right before executing a request that
+    carries a wall-clock deadline.  Returns ``(policy, rungs)``:
+
+    * ``policy`` — the :class:`~repro.faults.plan.RetryPolicy` the run
+      should use (``base`` unchanged when there is plenty of budget left);
+    * ``rungs`` — degradation-ladder rungs to apply to the config *up
+      front* (before any fault occurs).
+
+    With more than half the deadline budget remaining the request runs
+    under ``base`` untouched.  At half or less, the run is pre-degraded
+    with :data:`~repro.faults.plan.RUNG_SHRINK_CHUNK` and the retry ladder
+    is collapsed to a single device attempt followed directly by the
+    serial CPU fallback with no backoff — a fault near the deadline then
+    degrades straight to the rung that is guaranteed to terminate instead
+    of burning the remaining budget on device retries.  Callers handle an
+    already-expired deadline themselves (cancel with a typed response);
+    a non-positive ``remaining_ms`` here is treated as the tight regime.
+    """
+    from dataclasses import replace
+
+    from repro.faults.plan import (
+        RetryPolicy,
+        RUNG_CPU_FALLBACK,
+        RUNG_SHRINK_CHUNK,
+    )
+
+    if deadline_ms is None or remaining_ms is None or deadline_ms <= 0:
+        return base, ()
+    if remaining_ms > 0.5 * deadline_ms:
+        return base, ()
+    if base is not None:
+        policy = replace(
+            base,
+            max_attempts=min(base.max_attempts, 2),
+            backoff_base_cycles=0,
+            ladder=(RUNG_CPU_FALLBACK,),
+        )
+    else:
+        policy = RetryPolicy(
+            max_attempts=2, backoff_base_cycles=0, ladder=(RUNG_CPU_FALLBACK,)
+        )
+    return policy, (RUNG_SHRINK_CHUNK,)
+
+
+# --------------------------------------------------------------------------- #
 # Survival report
 # --------------------------------------------------------------------------- #
 

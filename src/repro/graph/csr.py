@@ -44,7 +44,15 @@ class CSRGraph:
         When true (default) the invariants above are checked eagerly.
     """
 
-    __slots__ = ("row_ptr", "col_idx", "labels", "name", "_degrees", "_max_degree")
+    __slots__ = (
+        "row_ptr",
+        "col_idx",
+        "labels",
+        "name",
+        "_degrees",
+        "_max_degree",
+        "_dir_edges",
+    )
 
     def __init__(
         self,
@@ -66,6 +74,7 @@ class CSRGraph:
             raise GraphError("row_ptr must have at least one entry")
         self._degrees = np.diff(self.row_ptr).astype(np.int64)
         self._max_degree = int(self._degrees.max()) if self._degrees.size else 0
+        self._dir_edges: Optional[np.ndarray] = None
         if validate:
             self._validate()
 
@@ -188,11 +197,18 @@ class CSRGraph:
 
         These are the *initial tasks* of the paper: T-DFS creates one initial
         task per directed edge ``(v_i1, v_i2)`` matching ``(u_1, u_2)``.
+
+        The array is memoized (the graph is immutable), so every engine run
+        against the same instance — in particular the requests of one serving
+        micro-batch — shares a single candidate build.  Callers must treat
+        the returned array as read-only.
         """
-        src = np.repeat(
-            np.arange(self.num_vertices, dtype=VID_DTYPE), self._degrees
-        )
-        return np.column_stack([src, self.col_idx])
+        if self._dir_edges is None:
+            src = np.repeat(
+                np.arange(self.num_vertices, dtype=VID_DTYPE), self._degrees
+            )
+            self._dir_edges = np.column_stack([src, self.col_idx])
+        return self._dir_edges
 
     def with_labels(self, labels: Sequence[int] | np.ndarray, name: str | None = None) -> "CSRGraph":
         """Return a copy of this graph carrying the given vertex labels."""

@@ -1,0 +1,57 @@
+"""repro.serve — asynchronous matching service over the T-DFS engines.
+
+A long-lived serving layer for repeated queries against evolving graphs:
+
+* :class:`MatchService` — graph registry (versioned), request submission,
+  blocking ``query()`` convenience wrapper;
+* plan + result caches keyed by ``(graph_id, graph_version,
+  plan_fingerprint, engine, config_fingerprint)`` with version-based lazy
+  invalidation (:mod:`repro.serve.cache`);
+* bounded admission queue with priority shedding and micro-batching
+  (:mod:`repro.serve.batcher`);
+* a worker pool with per-thread engine ownership and deadline enforcement
+  wired into the fault-recovery ladder (:mod:`repro.serve.workers`);
+* counters/histograms with a text report (:mod:`repro.serve.metrics`).
+
+See the "Serving" section of the README for an embed example and
+DESIGN.md for the cache-key scheme.
+"""
+
+from repro.serve.batcher import AdmissionQueue, AdmissionRejected, QueueEntry
+from repro.serve.cache import (
+    CacheStats,
+    LRUCache,
+    config_fingerprint,
+    plan_fingerprint,
+    plan_key,
+    result_key,
+)
+from repro.serve.metrics import Histogram, ServeMetrics
+from repro.serve.service import (
+    MatchRequest,
+    MatchResponse,
+    MatchService,
+    MatchTicket,
+    ResultTimeout,
+    ServeConfig,
+)
+
+__all__ = [
+    "AdmissionQueue",
+    "AdmissionRejected",
+    "CacheStats",
+    "Histogram",
+    "LRUCache",
+    "MatchRequest",
+    "MatchResponse",
+    "MatchService",
+    "MatchTicket",
+    "QueueEntry",
+    "ResultTimeout",
+    "ServeConfig",
+    "ServeMetrics",
+    "config_fingerprint",
+    "plan_fingerprint",
+    "plan_key",
+    "result_key",
+]

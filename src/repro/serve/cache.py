@@ -1,0 +1,208 @@
+"""Plan and result caching for the serving layer.
+
+Both caches are LRU maps keyed by
+
+    (graph_id, graph_version, plan_fingerprint, engine, config_fingerprint)
+
+(the result cache additionally keys on the collect-matches limit).  The
+*graph version* is the invalidation mechanism: :class:`~repro.serve.service.
+MatchService` bumps a graph's version on every ``update_graph`` /
+``apply_edges``, so entries built against the old version simply stop being
+addressable and age out of the LRU — batch-dynamic edge updates can never
+serve a stale count, and no eager scan of the cache is required.
+:meth:`LRUCache.invalidate_graph` is available for eager eviction when
+memory pressure matters more than update latency.
+
+Fingerprints are content hashes (SHA-256, truncated): two structurally
+identical queries hit the same plan-cache entry regardless of object
+identity or pattern name, and two configs that differ only in fields that
+cannot change a result (cost model, tracing, fault plan, event budget) map
+to the same fingerprint.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, fields
+from typing import Any, Hashable, Optional, Union
+
+from repro.core.config import TDFSConfig
+from repro.query.pattern import QueryGraph
+from repro.query.plan import MatchingPlan
+
+
+@dataclass
+class CacheStats:
+    """Counter snapshot of one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    size: int = 0
+    capacity: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 when the cache was never consulted)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "size": self.size,
+            "capacity": self.capacity,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class LRUCache:
+    """A thread-safe LRU map with hit/miss/eviction counters.
+
+    Keys are tuples whose first element is the ``graph_id`` (see
+    :func:`plan_key` / :func:`result_key`), which is what makes
+    :meth:`invalidate_graph` possible without a reverse index.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._invalidations = 0
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """Value for ``key`` (marking it most-recent), or ``None``."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return self._entries[key]
+            self._misses += 1
+            return None
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert/refresh ``key``, evicting the LRU tail past capacity."""
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def invalidate_graph(self, graph_id: str) -> int:
+        """Eagerly drop every entry keyed to ``graph_id``; returns count."""
+        with self._lock:
+            stale = [k for k in self._entries if k[0] == graph_id]
+            for k in stale:
+                del self._entries[k]
+            self._invalidations += len(stale)
+            return len(stale)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._invalidations += len(self._entries)
+            self._entries.clear()
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                invalidations=self._invalidations,
+                size=len(self._entries),
+                capacity=self.capacity,
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+# --------------------------------------------------------------------------- #
+# Fingerprints and keys
+# --------------------------------------------------------------------------- #
+
+
+def _digest(payload: tuple) -> str:
+    return hashlib.sha256(repr(payload).encode()).hexdigest()[:16]
+
+
+def plan_fingerprint(query: Union[QueryGraph, MatchingPlan]) -> str:
+    """Content fingerprint of a query pattern (or precompiled plan).
+
+    Fingerprints the *structure* (vertex count, sorted edge list, labels),
+    never the pattern name — structurally identical queries share cache
+    entries.  A precompiled :class:`MatchingPlan` additionally pins its
+    matching order and optimization flags, since those are fixed in the
+    plan rather than derived from the engine config.
+    """
+    if isinstance(query, MatchingPlan):
+        q = query.query
+        payload = (
+            "plan",
+            q.num_vertices,
+            tuple(q.edges()),
+            q.labels,
+            tuple(query.order),
+            query.symmetry_enabled,
+            query.reuse_enabled,
+        )
+    else:
+        payload = ("query", query.num_vertices, tuple(query.edges()), query.labels)
+    return _digest(payload)
+
+
+#: Config fields excluded from the fingerprint: they cannot change what a
+#: request returns (cost model / tracing / event budget shift virtual
+#: timings only) or are serving-layer concerns injected per request
+#: (fault plan, retry policy).
+_CONFIG_FP_SKIP = frozenset({"cost", "fault_plan", "retry", "trace", "max_events"})
+
+
+def config_fingerprint(config: TDFSConfig) -> str:
+    """Stable fingerprint over the result-relevant fields of a config."""
+    parts = []
+    for f in fields(config):
+        if f.name in _CONFIG_FP_SKIP:
+            continue
+        value = getattr(config, f.name)
+        if isinstance(value, enum.Enum):
+            value = value.value
+        parts.append((f.name, value))
+    return _digest(tuple(parts))
+
+
+def plan_key(
+    graph_id: str,
+    graph_version: int,
+    plan_fp: str,
+    engine: str,
+    config_fp: str,
+) -> tuple:
+    """Key of one plan-cache entry."""
+    return (graph_id, graph_version, plan_fp, engine, config_fp)
+
+
+def result_key(
+    graph_id: str,
+    graph_version: int,
+    plan_fp: str,
+    engine: str,
+    config_fp: str,
+    collect_matches: int = 0,
+) -> tuple:
+    """Key of one result-cache entry (collect limit changes the payload)."""
+    return (graph_id, graph_version, plan_fp, engine, config_fp, collect_matches)

@@ -1,0 +1,213 @@
+"""Lightweight service metrics: counters, gauges, and latency histograms.
+
+No external dependencies and no background threads — a single lock guards
+everything, observations are O(1), and percentiles are computed lazily at
+``snapshot()`` time over a bounded sliding window of recent observations
+(so a long-lived service reports *recent* latency, not all-time latency).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Optional
+
+
+class Histogram:
+    """Sliding-window histogram with lazy percentiles.
+
+    Keeps the last ``window`` observations; ``count``/``total`` track the
+    all-time totals so throughput math stays exact even after the window
+    wraps.
+    """
+
+    def __init__(self, window: int = 16384) -> None:
+        self._values: deque[float] = deque(maxlen=max(1, int(window)))
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def record(self, value: float) -> None:
+        value = float(value)
+        self._values.append(value)
+        self.count += 1
+        self.total += value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Mean over the sliding window."""
+        if not self._values:
+            return 0.0
+        return sum(self._values) / len(self._values)
+
+    def percentile(self, p: float) -> float:
+        """Window percentile via nearest-rank (``p`` in [0, 100])."""
+        if not self._values:
+            return 0.0
+        ordered = sorted(self._values)
+        rank = max(0, min(len(ordered) - 1, int(round(p / 100.0 * (len(ordered) - 1)))))
+        return ordered[rank]
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": round(self.mean, 4),
+            "p50": round(self.percentile(50), 4),
+            "p95": round(self.percentile(95), 4),
+            "p99": round(self.percentile(99), 4),
+            "max": round(self.max, 4),
+        }
+
+
+#: Counter names every snapshot reports (missing ones render as 0), so the
+#: text report is stable regardless of which events have occurred yet.
+COUNTERS = (
+    "submitted",
+    "completed",
+    "errors",
+    "shed",
+    "rejected",
+    "result_cache_hits",
+    "plan_compiles",
+    "deadline_expired",
+    "deadline_missed",
+    "degraded",
+    "batches",
+    "graph_updates",
+)
+
+
+class ServeMetrics:
+    """Counters + histograms for one :class:`~repro.serve.MatchService`."""
+
+    def __init__(self, latency_window: int = 16384) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self.latency_ms = Histogram(latency_window)
+        """End-to-end wall latency (submit -> response) per completed request."""
+        self.queue_ms = Histogram(latency_window)
+        """Admission-queue wait per executed request."""
+        self.batch_size = Histogram(4096)
+        """Requests per micro-batch."""
+        self._queue_depth = 0
+        self._queue_depth_peak = 0
+        self._started = time.monotonic()
+
+    # ------------------------------------------------------------------ #
+
+    def incr(self, name: str, n: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + n
+
+    def get(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def observe_latency(self, ms: float) -> None:
+        with self._lock:
+            self.latency_ms.record(ms)
+
+    def observe_queue_wait(self, ms: float) -> None:
+        with self._lock:
+            self.queue_ms.record(ms)
+
+    def observe_batch(self, size: int) -> None:
+        with self._lock:
+            self._counters["batches"] = self._counters.get("batches", 0) + 1
+            self.batch_size.record(size)
+
+    def set_queue_depth(self, depth: int) -> None:
+        with self._lock:
+            self._queue_depth = depth
+            if depth > self._queue_depth_peak:
+                self._queue_depth_peak = depth
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def uptime_s(self) -> float:
+        return time.monotonic() - self._started
+
+    @property
+    def qps(self) -> float:
+        """Completed requests per wall second since service start."""
+        uptime = self.uptime_s
+        if uptime <= 0:
+            return 0.0
+        return self.get("completed") / uptime
+
+    def snapshot(self) -> dict:
+        """All metrics as one JSON-compatible dict."""
+        with self._lock:
+            counters = {name: self._counters.get(name, 0) for name in COUNTERS}
+            extra = {
+                k: v for k, v in self._counters.items() if k not in COUNTERS
+            }
+            snap = {
+                "uptime_s": round(time.monotonic() - self._started, 3),
+                "qps": round(self.qps_locked(counters["completed"]), 2),
+                "counters": {**counters, **extra},
+                "queue": {
+                    "depth": self._queue_depth,
+                    "peak_depth": self._queue_depth_peak,
+                },
+                "latency_ms": self.latency_ms.snapshot(),
+                "queue_wait_ms": self.queue_ms.snapshot(),
+                "batch_size": self.batch_size.snapshot(),
+            }
+        return snap
+
+    def qps_locked(self, completed: int) -> float:
+        uptime = time.monotonic() - self._started
+        return completed / uptime if uptime > 0 else 0.0
+
+    def render(self, cache_stats: Optional[dict] = None) -> str:
+        """Human-readable metrics report (the ``repro serve`` output)."""
+        s = self.snapshot()
+        c = s["counters"]
+        lat = s["latency_ms"]
+        qw = s["queue_wait_ms"]
+        bs = s["batch_size"]
+        lines = ["=== repro.serve metrics ==="]
+        lines.append(f"uptime           : {s['uptime_s']:.2f} s")
+        lines.append(
+            "requests         : "
+            f"{c['submitted']} submitted, {c['completed']} completed, "
+            f"{c['errors']} errors, {c['shed']} shed, {c['rejected']} rejected"
+        )
+        lines.append(f"throughput       : {s['qps']:.1f} req/s")
+        lines.append(
+            "latency ms       : "
+            f"mean {lat['mean']:.3f}  p50 {lat['p50']:.3f}  "
+            f"p95 {lat['p95']:.3f}  p99 {lat['p99']:.3f}  max {lat['max']:.3f}"
+        )
+        lines.append(
+            "queue            : "
+            f"depth {s['queue']['depth']}, peak {s['queue']['peak_depth']}, "
+            f"wait mean {qw['mean']:.3f} ms"
+        )
+        lines.append(
+            "batches          : "
+            f"{c['batches']} (mean size {bs['mean']:.2f}, max {bs['max']:.0f})"
+        )
+        if cache_stats:
+            for name in ("plan_cache", "result_cache"):
+                cs = cache_stats.get(name)
+                if cs is None:
+                    continue
+                lines.append(
+                    f"{name.replace('_', ' '):<17}: "
+                    f"{cs['hits']} hits / {cs['misses']} misses "
+                    f"({100.0 * cs['hit_rate']:.1f}%), "
+                    f"{cs['evictions']} evictions, size {cs['size']}"
+                )
+        lines.append(
+            "deadlines        : "
+            f"{c['deadline_expired']} expired, {c['deadline_missed']} missed, "
+            f"{c['degraded']} degraded"
+        )
+        lines.append(f"graph updates    : {c['graph_updates']}")
+        return "\n".join(lines) + "\n"

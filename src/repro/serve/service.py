@@ -1,0 +1,536 @@
+"""The asynchronous matching service.
+
+:class:`MatchService` turns the one-shot :func:`repro.match` call into a
+long-lived, embeddable service:
+
+* a registry of named graphs, each with a monotonically increasing
+  **version** — ``update_graph`` / ``apply_edges`` bump it, which lazily
+  invalidates every cache entry built against the old version;
+* plan and result caches (:mod:`repro.serve.cache`);
+* a bounded admission queue with priority shedding and micro-batching
+  (:mod:`repro.serve.batcher`);
+* a worker-thread pool, each worker owning its engines
+  (:mod:`repro.serve.workers`);
+* request deadlines wired into the fault-recovery ladder
+  (:func:`repro.faults.deadline_policy`);
+* metrics (:mod:`repro.serve.metrics`).
+
+Requests submitted through the service return exactly the counts the
+one-shot :func:`repro.match` would — caching and batching are pure
+performance layers, never semantic ones.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Union
+
+import numpy as np
+
+from repro.core.config import TDFSConfig
+from repro.core.engine import available_engines
+from repro.core.result import MatchResult
+from repro.errors import ReproError, UnsupportedError
+from repro.graph.builder import from_edges
+from repro.graph.csr import CSRGraph
+from repro.query.pattern import QueryGraph
+from repro.query.plan import MatchingPlan
+from repro.serve.batcher import AdmissionQueue, AdmissionRejected, QueueEntry
+from repro.serve.cache import (
+    LRUCache,
+    config_fingerprint,
+    plan_fingerprint,
+    result_key,
+)
+from repro.serve.metrics import ServeMetrics
+
+
+class ResultTimeout(ReproError):
+    """``MatchTicket.result(timeout=...)`` expired before a response."""
+
+
+# --------------------------------------------------------------------------- #
+# Requests, responses, tickets
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class MatchRequest:
+    """One matching request against a registered graph.
+
+    ``query`` may be a :class:`QueryGraph`, a precompiled
+    :class:`MatchingPlan`, or a pattern name like ``"P4"``.
+    ``deadline_ms`` is a wall-clock budget measured from submission;
+    ``priority`` (higher = more important) decides who is shed first under
+    overload.
+    """
+
+    graph_id: str
+    query: Union[QueryGraph, MatchingPlan, str]
+    engine: str = "tdfs"
+    deadline_ms: Optional[float] = None
+    priority: int = 0
+    collect_matches: int = 0
+    config: Optional[TDFSConfig] = None
+    """Per-request engine config override (``None`` = the service default)."""
+    use_result_cache: bool = True
+    """Allow serving this request from (and storing it into) the result
+    cache; plan caching is unaffected."""
+
+
+@dataclass
+class MatchResponse:
+    """Result + serving telemetry for one request."""
+
+    request_id: int
+    graph_id: str
+    graph_version: Optional[int]
+    engine: str
+    query_name: str
+    result: Optional[MatchResult] = None
+    error: Optional[str] = None
+    """``None`` on success; ``"DEADLINE"`` (expired before execution),
+    ``"UNKNOWN_GRAPH"``, an engine failure marker (``"OOM"``, ``"N/A"``,
+    ``"ERR (...)"``), or ``"SHUTDOWN"``."""
+    result_cache_hit: bool = False
+    plan_cache_hit: bool = False
+    degraded: bool = False
+    """True when the deadline ladder pre-degraded the run or canceled it."""
+    deadline_missed: bool = False
+    """True when the request completed, but after its deadline."""
+    queue_ms: float = 0.0
+    compile_ms: float = 0.0
+    """Wall time spent compiling the plan (0 on a plan-cache hit)."""
+    run_ms: float = 0.0
+    """Wall time spent inside the engine."""
+    total_ms: float = 0.0
+    batch_size: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and self.result is not None
+
+    @property
+    def count(self) -> Optional[int]:
+        """Match count, or ``None`` when the request did not produce one."""
+        return self.result.count if self.result is not None else None
+
+
+class MatchTicket:
+    """Async handle returned by :meth:`MatchService.submit`.
+
+    ``result()`` blocks until the response arrives; it raises
+    :class:`AdmissionRejected` if the request was shed after admission and
+    :class:`ResultTimeout` when ``timeout`` expires first.
+    """
+
+    def __init__(self, request_id: int) -> None:
+        self.request_id = request_id
+        self._event = threading.Event()
+        self._response: Optional[MatchResponse] = None
+        self._error: Optional[BaseException] = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> MatchResponse:
+        if not self._event.wait(timeout):
+            raise ResultTimeout(
+                f"no response for request {self.request_id} within {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._response is not None
+        return self._response
+
+    # internal — called by the service/workers
+    def _complete(self, response: MatchResponse) -> None:
+        self._response = response
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+
+@dataclass
+class _PreparedRequest:
+    """A request after submit-time normalization (internal)."""
+
+    request: MatchRequest
+    query: Union[QueryGraph, MatchingPlan]
+    config: TDFSConfig
+    plan_fp: str
+    config_fp: str
+
+    @property
+    def query_name(self) -> str:
+        q = self.query.query if isinstance(self.query, MatchingPlan) else self.query
+        return q.name
+
+
+# --------------------------------------------------------------------------- #
+# Service configuration
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class ServeConfig:
+    """Knobs of one :class:`MatchService`."""
+
+    workers: int = 2
+    max_queue: int = 256
+    """Admission-queue depth; beyond it, requests shed or are rejected."""
+    max_batch: int = 16
+    """Micro-batch size cap (requests sharing one candidate build)."""
+    batch_window_ms: float = 1.0
+    """How long a worker lingers after taking a request to let same-graph
+    requests accumulate into its batch (0 disables the wait)."""
+    poll_interval_s: float = 0.05
+    plan_cache_size: int = 256
+    result_cache_size: int = 1024
+    enable_plan_cache: bool = True
+    enable_result_cache: bool = True
+    eager_invalidation: bool = False
+    """Scan-and-drop cache entries on a graph update instead of relying on
+    version-keyed lazy invalidation alone."""
+    autostart: bool = True
+    """Start the worker pool on first submit (otherwise call ``start()``)."""
+    match_config: TDFSConfig = field(default_factory=TDFSConfig)
+    """Default engine config for requests without an override."""
+    latency_window: int = 16384
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ReproError("serve: workers must be >= 1")
+        if self.max_batch < 1:
+            raise ReproError("serve: max_batch must be >= 1")
+
+
+@dataclass
+class _GraphSlot:
+    graph: CSRGraph
+    version: int
+
+
+# --------------------------------------------------------------------------- #
+# The service
+# --------------------------------------------------------------------------- #
+
+
+class MatchService:
+    """Embeddable asynchronous subgraph-matching service.
+
+    Usage::
+
+        from repro import load_dataset
+        from repro.serve import MatchService
+
+        with MatchService() as svc:
+            svc.register_graph("g", load_dataset("web-google"))
+            print(svc.query("g", "P1").count)   # cold: compile + run
+            print(svc.query("g", "P1").count)   # warm: result-cache hit
+    """
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.config = config or ServeConfig()
+        self.metrics = ServeMetrics(self.config.latency_window)
+        self.plan_cache = LRUCache(self.config.plan_cache_size)
+        self.result_cache = LRUCache(self.config.result_cache_size)
+        self._graphs: dict[str, _GraphSlot] = {}
+        self._graphs_lock = threading.RLock()
+        self._queue = AdmissionQueue(
+            max_depth=self.config.max_queue, on_shed=self._shed
+        )
+        self._lifecycle = threading.Lock()
+        self._pool = None
+        self._next_id = 0
+        self._id_lock = threading.Lock()
+        self._stopped = False
+
+    # ------------------------------------------------------------------ #
+    # Graph registry
+    # ------------------------------------------------------------------ #
+
+    def register_graph(self, graph_id: str, graph: CSRGraph) -> int:
+        """Register a new named graph at version 1."""
+        with self._graphs_lock:
+            if graph_id in self._graphs:
+                raise ReproError(
+                    f"graph {graph_id!r} already registered; use update_graph()"
+                )
+            self._graphs[graph_id] = _GraphSlot(graph=graph, version=1)
+            return 1
+
+    def update_graph(self, graph_id: str, graph: CSRGraph) -> int:
+        """Replace a registered graph wholesale; bumps its version."""
+        with self._graphs_lock:
+            slot = self._slot(graph_id)
+            slot.graph = graph
+            slot.version += 1
+            version = slot.version
+        self._after_update(graph_id)
+        return version
+
+    def apply_edges(
+        self,
+        graph_id: str,
+        add: Optional[Iterable[tuple[int, int]]] = None,
+        remove: Optional[Iterable[tuple[int, int]]] = None,
+    ) -> int:
+        """Apply a batch-dynamic edge delta; bumps the graph version.
+
+        ``add`` may reference new vertex ids past the current ``|V|`` (the
+        vertex set grows; new vertices of a labeled graph get label 0).
+        Removal of a non-existent edge is a no-op.  Every cache entry for
+        the previous version becomes unreachable, so no request observes a
+        stale count.
+        """
+        add_arr = (
+            np.asarray(list(add), dtype=np.int64).reshape(-1, 2)
+            if add
+            else np.empty((0, 2), dtype=np.int64)
+        )
+        with self._graphs_lock:
+            slot = self._slot(graph_id)
+            old = slot.graph
+            edges = old.edge_array().astype(np.int64)
+            if remove:
+                drop = {(min(u, v), max(u, v)) for u, v in remove}
+                keep = [
+                    i
+                    for i in range(len(edges))
+                    if (int(edges[i, 0]), int(edges[i, 1])) not in drop
+                ]
+                edges = edges[keep]
+            if len(add_arr):
+                edges = np.vstack([edges, add_arr])
+            n = old.num_vertices
+            if len(add_arr):
+                n = max(n, int(add_arr.max()) + 1)
+            labels = None
+            if old.labels is not None:
+                labels = np.zeros(n, dtype=np.int32)
+                labels[: old.num_vertices] = old.labels
+            slot.graph = from_edges(
+                edges, num_vertices=n, labels=labels, name=old.name
+            )
+            slot.version += 1
+            version = slot.version
+        self._after_update(graph_id)
+        return version
+
+    def graph(self, graph_id: str) -> CSRGraph:
+        """The current graph registered under ``graph_id``."""
+        with self._graphs_lock:
+            return self._slot(graph_id).graph
+
+    def graph_version(self, graph_id: str) -> int:
+        with self._graphs_lock:
+            return self._slot(graph_id).version
+
+    def graphs(self) -> dict[str, int]:
+        """Mapping of registered graph ids to their current versions."""
+        with self._graphs_lock:
+            return {gid: slot.version for gid, slot in self._graphs.items()}
+
+    def _slot(self, graph_id: str) -> _GraphSlot:
+        try:
+            return self._graphs[graph_id]
+        except KeyError:
+            raise ReproError(
+                f"unknown graph {graph_id!r}; registered: "
+                f"{', '.join(sorted(self._graphs)) or '(none)'}"
+            ) from None
+
+    def resolve_graph(self, graph_id: str) -> tuple[CSRGraph, int]:
+        """Snapshot ``(graph, version)`` — what a worker executes against."""
+        with self._graphs_lock:
+            slot = self._slot(graph_id)
+            return slot.graph, slot.version
+
+    def _after_update(self, graph_id: str) -> None:
+        self.metrics.incr("graph_updates")
+        if self.config.eager_invalidation:
+            self.plan_cache.invalidate_graph(graph_id)
+            self.result_cache.invalidate_graph(graph_id)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> "MatchService":
+        """Start the worker pool (idempotent)."""
+        from repro.serve.workers import WorkerPool
+
+        with self._lifecycle:
+            if self._stopped:
+                raise ReproError("this MatchService was stopped; build a new one")
+            if self._pool is None:
+                self._pool = WorkerPool(self, self.config.workers)
+                self._pool.start()
+        return self
+
+    def stop(self) -> None:
+        """Drain nothing, reject the queued remainder, stop the workers."""
+        with self._lifecycle:
+            if self._stopped:
+                return
+            self._stopped = True
+            remaining = self._queue.close()
+            for entry in remaining:
+                self.metrics.incr("rejected")
+                entry.ticket._fail(
+                    AdmissionRejected("service stopped before the request ran")
+                )
+            if self._pool is not None:
+                self._pool.join()
+                self._pool = None
+
+    @property
+    def running(self) -> bool:
+        return self._pool is not None and not self._stopped
+
+    def __enter__(self) -> "MatchService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # Request path
+    # ------------------------------------------------------------------ #
+
+    def submit(self, request: MatchRequest) -> MatchTicket:
+        """Admit a request; returns immediately with a :class:`MatchTicket`.
+
+        Raises :class:`AdmissionRejected` when the request cannot be
+        admitted (queue full and priority too low, or service stopped),
+        :class:`ReproError` for an unknown graph or engine.
+        """
+        t_submit = time.monotonic()
+        prepared = self._prepare(request)
+        with self._id_lock:
+            self._next_id += 1
+            rid = self._next_id
+        self.metrics.incr("submitted")
+        ticket = MatchTicket(rid)
+
+        graph, version = self.resolve_graph(request.graph_id)
+
+        # Fast path: an exact repeat of a cached result answers immediately,
+        # without touching the admission queue.
+        if self.config.enable_result_cache and request.use_result_cache:
+            key = result_key(
+                request.graph_id,
+                version,
+                prepared.plan_fp,
+                request.engine,
+                prepared.config_fp,
+                request.collect_matches,
+            )
+            cached = self.result_cache.get(key)
+            if cached is not None:
+                total_ms = (time.monotonic() - t_submit) * 1000.0
+                response = MatchResponse(
+                    request_id=rid,
+                    graph_id=request.graph_id,
+                    graph_version=version,
+                    engine=request.engine,
+                    query_name=prepared.query_name,
+                    result=cached,
+                    result_cache_hit=True,
+                    total_ms=total_ms,
+                )
+                ticket._complete(response)
+                self.metrics.incr("completed")
+                self.metrics.incr("result_cache_hits")
+                self.metrics.observe_latency(total_ms)
+                return ticket
+
+        if self.config.autostart:
+            self.start()
+        deadline_at = None
+        if request.deadline_ms is not None:
+            deadline_at = t_submit + request.deadline_ms / 1000.0
+        entry = QueueEntry(
+            request=prepared,
+            ticket=ticket,
+            request_id=rid,
+            priority=request.priority,
+            batch_key=(request.graph_id, request.engine, prepared.config_fp),
+            submitted_at=t_submit,
+            deadline_at=deadline_at,
+        )
+        try:
+            self._queue.offer(entry)
+        except AdmissionRejected:
+            self.metrics.incr("rejected")
+            raise
+        self.metrics.set_queue_depth(self._queue.depth)
+        return ticket
+
+    def query(
+        self,
+        graph_id: str,
+        query: Union[QueryGraph, MatchingPlan, str],
+        timeout: Optional[float] = 300.0,
+        **kwargs,
+    ) -> MatchResponse:
+        """Blocking convenience wrapper: submit and wait for the response."""
+        request = MatchRequest(graph_id=graph_id, query=query, **kwargs)
+        return self.submit(request).result(timeout=timeout)
+
+    def _prepare(self, request: MatchRequest) -> _PreparedRequest:
+        if request.engine not in available_engines():
+            raise UnsupportedError(
+                f"unknown engine {request.engine!r}; available: "
+                f"{', '.join(available_engines())}"
+            )
+        query = request.query
+        if isinstance(query, str):
+            from repro.query.patterns import get_pattern
+
+            query = get_pattern(query)
+        config = request.config or self.config.match_config
+        return _PreparedRequest(
+            request=request,
+            query=query,
+            config=config,
+            plan_fp=plan_fingerprint(query),
+            config_fp=config_fingerprint(config),
+        )
+
+    def _shed(self, entry: QueueEntry) -> None:
+        """Admission-queue callback: a queued request was displaced."""
+        self.metrics.incr("shed")
+        entry.ticket._fail(
+            AdmissionRejected(
+                f"request {entry.request_id} shed under overload "
+                f"(priority {entry.priority})"
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def cache_stats(self) -> dict:
+        return {
+            "plan_cache": self.plan_cache.stats().to_dict(),
+            "result_cache": self.result_cache.stats().to_dict(),
+        }
+
+    def snapshot(self) -> dict:
+        """Metrics + cache counters + graph registry, JSON-compatible."""
+        snap = self.metrics.snapshot()
+        snap.update(self.cache_stats())
+        snap["graphs"] = self.graphs()
+        snap["workers"] = self.config.workers
+        return snap
+
+    def render_metrics(self) -> str:
+        """Text metrics report (the ``repro serve`` CLI output)."""
+        return self.metrics.render(cache_stats=self.cache_stats())

@@ -1,0 +1,276 @@
+"""Worker pool: drains the admission queue in micro-batches.
+
+Each :class:`Worker` is a thread that owns its engine instances — engines
+are cheap to construct but carry per-run mutable state (the resilient
+retry driver swaps ``engine.config`` during degradation), so they are
+never shared across threads.  A worker takes one request, lingers for the
+batching window, then grabs every queued request with the same
+``(graph_id, engine, config)`` batch key; the batch shares one graph
+resolution and one candidate build (the graph's memoized directed-edge
+array) before enumeration fans out per request.
+
+Deadlines are enforced here: a request whose deadline expired while
+queued is canceled with a typed ``"DEADLINE"`` response (never started),
+and a request running short on budget executes under the trimmed retry
+ladder from :func:`repro.faults.deadline_policy` — one device attempt,
+then straight to the serial CPU fallback — so expiry degrades cleanly
+instead of crashing or hogging the worker.
+"""
+
+from __future__ import annotations
+
+import inspect
+import threading
+import time
+from typing import Optional
+
+from repro.core.engine import make_engine
+from repro.errors import ReproError, UnsupportedError
+from repro.faults.recovery import deadline_policy
+from repro.query.plan import MatchingPlan
+from repro.serve.batcher import QueueEntry
+from repro.serve.cache import plan_key, result_key
+
+
+class WorkerPool:
+    """Fixed pool of daemon worker threads attached to one service."""
+
+    def __init__(self, service, num_workers: int) -> None:
+        self.service = service
+        self.workers = [Worker(service, i) for i in range(num_workers)]
+
+    def start(self) -> None:
+        for w in self.workers:
+            w.start()
+
+    def join(self, timeout: Optional[float] = 30.0) -> None:
+        for w in self.workers:
+            w.join(timeout)
+
+
+class Worker(threading.Thread):
+    """One serving thread; owns its engines, never shares them."""
+
+    def __init__(self, service, index: int) -> None:
+        super().__init__(name=f"repro-serve-worker-{index}", daemon=True)
+        self.service = service
+        self.index = index
+        self._engines: dict[str, object] = {}
+        self._run_accepts_collect: dict[str, bool] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> None:
+        queue = self.service._queue
+        cfg = self.service.config
+        while True:
+            entry = queue.take(timeout=cfg.poll_interval_s)
+            if entry is None:
+                if queue.closed:
+                    return
+                continue
+            batch = [entry]
+            if cfg.max_batch > 1:
+                if cfg.batch_window_ms > 0 and queue.depth:
+                    time.sleep(cfg.batch_window_ms / 1000.0)
+                batch.extend(
+                    queue.take_matching(entry.batch_key, cfg.max_batch - 1)
+                )
+            try:
+                self._process_batch(batch)
+            except Exception as exc:  # the worker must survive anything
+                for e in batch:
+                    if not e.ticket.done():
+                        self._respond_error(e, f"ERR ({type(exc).__name__})")
+            self.service.metrics.set_queue_depth(queue.depth)
+
+    # ------------------------------------------------------------------ #
+
+    def _process_batch(self, batch: list[QueueEntry]) -> None:
+        service = self.service
+        service.metrics.observe_batch(len(batch))
+        graph_id = batch[0].request.request.graph_id
+        try:
+            graph, version = service.resolve_graph(graph_id)
+        except ReproError:
+            for e in batch:
+                self._respond_error(e, "UNKNOWN_GRAPH")
+            return
+        # Shared candidate build: one directed-edge-array materialization
+        # serves every request of the batch (memoized on the graph).
+        graph.directed_edge_array()
+        for e in batch:
+            self._process_one(e, graph, version, len(batch))
+
+    def _process_one(
+        self, entry: QueueEntry, graph, version: int, batch_size: int
+    ) -> None:
+        service = self.service
+        metrics = service.metrics
+        prepared = entry.request
+        request = prepared.request
+        now = time.monotonic()
+        queue_ms = (now - entry.submitted_at) * 1000.0
+        metrics.observe_queue_wait(queue_ms)
+
+        def finish(response) -> None:
+            response.queue_ms = queue_ms
+            response.batch_size = batch_size
+            response.total_ms = (time.monotonic() - entry.submitted_at) * 1000.0
+            entry.ticket._complete(response)
+            metrics.incr("completed")
+            metrics.observe_latency(response.total_ms)
+            if response.degraded:
+                metrics.incr("degraded")
+            if response.error is not None and response.error != "DEADLINE":
+                metrics.incr("errors")
+
+        from repro.serve.service import MatchResponse
+
+        base = MatchResponse(
+            request_id=entry.request_id,
+            graph_id=request.graph_id,
+            graph_version=version,
+            engine=request.engine,
+            query_name=prepared.query_name,
+        )
+
+        # Deadline expired while queued: cancel cleanly, typed, no run.
+        if entry.deadline_at is not None and now >= entry.deadline_at:
+            metrics.incr("deadline_expired")
+            base.error = "DEADLINE"
+            base.degraded = True
+            finish(base)
+            return
+
+        rkey = result_key(
+            request.graph_id,
+            version,
+            prepared.plan_fp,
+            request.engine,
+            prepared.config_fp,
+            request.collect_matches,
+        )
+        if service.config.enable_result_cache and request.use_result_cache:
+            cached = service.result_cache.get(rkey)
+            if cached is not None:
+                metrics.incr("result_cache_hits")
+                base.result = cached
+                base.result_cache_hit = True
+                finish(base)
+                return
+
+        config = prepared.config
+        if entry.deadline_at is not None:
+            remaining_ms = (entry.deadline_at - time.monotonic()) * 1000.0
+            policy, rungs = deadline_policy(
+                remaining_ms, request.deadline_ms, base=config.retry
+            )
+            if rungs:
+                config = config.replace(
+                    chunk_size=max(1, config.chunk_size // 2), retry=policy
+                )
+                base.degraded = True
+            elif policy is not config.retry:
+                config = config.replace(retry=policy)
+
+        engine = self._engine(request.engine, config)
+        plan, compile_ms, plan_hit = self._resolve_plan(
+            engine, prepared, request, version
+        )
+        base.compile_ms = compile_ms
+        base.plan_cache_hit = plan_hit
+        t0 = time.monotonic()
+        try:
+            if request.collect_matches and self._accepts_collect(request.engine):
+                result = engine.run(
+                    graph, plan, collect_matches=request.collect_matches
+                )
+            else:
+                result = engine.run(graph, plan)
+        except UnsupportedError:
+            base.error = "N/A"
+            base.run_ms = (time.monotonic() - t0) * 1000.0
+            finish(base)
+            return
+        except ReproError as exc:
+            base.error = f"ERR ({type(exc).__name__})"
+            base.run_ms = (time.monotonic() - t0) * 1000.0
+            finish(base)
+            return
+        base.run_ms = (time.monotonic() - t0) * 1000.0
+        base.result = result
+        base.error = result.error
+        if entry.deadline_at is not None and time.monotonic() > entry.deadline_at:
+            base.deadline_missed = True
+            metrics.incr("deadline_missed")
+        if (
+            result.error is None
+            and service.config.enable_result_cache
+            and request.use_result_cache
+        ):
+            service.result_cache.put(rkey, result)
+        finish(base)
+
+    # ------------------------------------------------------------------ #
+
+    def _resolve_plan(self, engine, prepared, request, version: int):
+        """Plan for the request: precompiled > cached > freshly compiled.
+
+        Compilation goes through ``engine.compile`` so engines that pin
+        their own plan flags (EGSM disables symmetry breaking, STMatch
+        disables reuse) cache exactly the plan they would have built.
+        """
+        service = self.service
+        if isinstance(prepared.query, MatchingPlan):
+            return prepared.query, 0.0, False
+        key = plan_key(
+            request.graph_id,
+            version,
+            prepared.plan_fp,
+            request.engine,
+            prepared.config_fp,
+        )
+        if service.config.enable_plan_cache:
+            plan = service.plan_cache.get(key)
+            if plan is not None:
+                return plan, 0.0, True
+        t0 = time.monotonic()
+        plan = engine.compile(prepared.query)
+        compile_ms = (time.monotonic() - t0) * 1000.0
+        service.metrics.incr("plan_compiles")
+        if service.config.enable_plan_cache:
+            service.plan_cache.put(key, plan)
+        return plan, compile_ms, False
+
+    def _engine(self, name: str, config):
+        """Worker-owned engine instance, rebuilt when the config changes."""
+        engine = self._engines.get(name)
+        if engine is None or engine.config is not config:
+            engine = make_engine(name, config)
+            self._engines[name] = engine
+        return engine
+
+    def _accepts_collect(self, name: str) -> bool:
+        if name not in self._run_accepts_collect:
+            engine = self._engines.get(name) or make_engine(name, None)
+            params = inspect.signature(engine.run).parameters
+            self._run_accepts_collect[name] = "collect_matches" in params
+        return self._run_accepts_collect[name]
+
+    def _respond_error(self, entry: QueueEntry, marker: str) -> None:
+        from repro.serve.service import MatchResponse
+
+        prepared = entry.request
+        response = MatchResponse(
+            request_id=entry.request_id,
+            graph_id=prepared.request.graph_id,
+            graph_version=None,
+            engine=prepared.request.engine,
+            query_name=prepared.query_name,
+            error=marker,
+            total_ms=(time.monotonic() - entry.submitted_at) * 1000.0,
+        )
+        entry.ticket._complete(response)
+        self.service.metrics.incr("completed")
+        self.service.metrics.incr("errors")

@@ -6,11 +6,13 @@ import pytest
 
 from repro.bench.harness import (
     ExperimentGrid,
+    fault_seed,
     patterns_for,
     quick_mode,
     run_cell,
     uniform_labeled,
 )
+from repro.errors import ReproError
 from repro.bench.reporting import Table, format_ms, geo_mean, speedup
 
 
@@ -65,6 +67,17 @@ class TestHarness:
         assert patterns_for(["P1", "P2", "P3", "P4"]) == ["P1", "P2", "P3"]
         monkeypatch.setenv("REPRO_BENCH_QUICK", "0")
         assert patterns_for(["P1", "P2", "P3", "P4"]) == ["P1", "P2", "P3", "P4"]
+
+    def test_fault_seed_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULT_SEED", raising=False)
+        assert fault_seed() is None
+        monkeypatch.setenv("REPRO_FAULT_SEED", "42")
+        assert fault_seed() == 42
+
+    def test_fault_seed_rejects_non_integer(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_SEED", "banana")
+        with pytest.raises(ReproError, match="REPRO_FAULT_SEED.*'banana'"):
+            fault_seed()
 
     def test_uniform_labeled(self):
         q = uniform_labeled("P3", label=2)

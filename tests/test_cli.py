@@ -50,6 +50,15 @@ class TestCommands:
         assert code == 0
         assert "matches" in capsys.readouterr().out
 
+    def test_run_reports_compile_and_match_time(self, capsys):
+        code = main(
+            ["run", "--dataset", "dblp", "--pattern", "P1", "--warps", "8"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "compile (host)" in out
+        assert "match (virtual)" in out
+
     def test_run_verbose(self, capsys):
         code = main(
             ["run", "--dataset", "dblp", "--pattern", "P1",
@@ -86,6 +95,35 @@ class TestCommands:
              "--labels", "4", "--warps", "8"]
         )
         assert code == 0
+
+    def test_serve_smoke_small(self, capsys):
+        # A reduced version of the CI smoke: few requests, tiny dataset.
+        code = main(
+            ["serve", "--smoke", "--dataset", "dblp",
+             "--patterns", "P1,P2", "--requests", "50", "--warps", "8"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "verdict" in out and "OK" in out
+        assert "counts match one-shot match() : yes" in out
+        assert "counts match after apply_edges: yes" in out
+
+    def test_serve_rejects_unknown_engine(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve", "--engine", "cuda"]
+            )
+
+    def test_run_engine_choices_track_registry(self):
+        from repro import available_engines
+
+        parser = build_parser()
+        for engine in available_engines():
+            args = parser.parse_args(
+                ["run", "--dataset", "dblp", "--pattern", "P1",
+                 "--engine", engine]
+            )
+            assert args.engine == engine
 
     def test_run_failure_exit_code(self, capsys):
         # EGSM on friendster at |L|=4 OOMs (Table IV) → exit code 1.

@@ -1,0 +1,243 @@
+"""End-to-end tests for the serving layer (:mod:`repro.serve`)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import TDFSConfig, match
+from repro.errors import ReproError, UnsupportedError
+from repro.serve import (
+    AdmissionRejected,
+    MatchRequest,
+    MatchService,
+    ServeConfig,
+)
+
+
+@pytest.fixture
+def serve_config(fast_config):
+    return ServeConfig(workers=1, match_config=fast_config)
+
+
+def make_service(**overrides) -> MatchService:
+    defaults = dict(workers=1, match_config=TDFSConfig(num_warps=8))
+    defaults.update(overrides)
+    return MatchService(ServeConfig(**defaults))
+
+
+class TestGraphRegistry:
+    def test_register_and_version(self, k4):
+        svc = make_service()
+        assert svc.register_graph("g", k4) == 1
+        assert svc.graph_version("g") == 1
+        assert svc.graph("g") is k4
+
+    def test_double_register_rejected(self, k4):
+        svc = make_service()
+        svc.register_graph("g", k4)
+        with pytest.raises(ReproError, match="already registered"):
+            svc.register_graph("g", k4)
+
+    def test_unknown_graph_submit(self, k4):
+        svc = make_service()
+        with pytest.raises(ReproError, match="unknown graph"):
+            svc.submit(MatchRequest(graph_id="nope", query="P1"))
+
+    def test_unknown_engine_submit(self, k4):
+        svc = make_service()
+        svc.register_graph("g", k4)
+        with pytest.raises(UnsupportedError, match="available:"):
+            svc.submit(MatchRequest(graph_id="g", query="P1", engine="cuda"))
+
+
+class TestQueryPath:
+    def test_counts_match_one_shot(self, k4, small_plc, fast_config):
+        with make_service() as svc:
+            svc.register_graph("k4", k4)
+            svc.register_graph("plc", small_plc)
+            for gid, graph in (("k4", k4), ("plc", small_plc)):
+                for p in ("P1", "P2"):
+                    expected = match(graph, p, config=fast_config).count
+                    assert svc.query(gid, p).count == expected
+
+    def test_repeat_query_hits_result_cache(self, small_plc):
+        with make_service() as svc:
+            svc.register_graph("g", small_plc)
+            cold = svc.query("g", "P1")
+            warm = svc.query("g", "P1")
+        assert not cold.result_cache_hit
+        assert warm.result_cache_hit
+        assert warm.count == cold.count
+        assert svc.metrics.get("result_cache_hits") == 1
+
+    def test_cache_invalidation_on_version_bump(self, k4, fast_config):
+        """An edge update must bump the version and flip the served count."""
+        with make_service() as svc:
+            svc.register_graph("g", k4)
+            before = svc.query("g", "P2").count  # K4 = one 4-clique
+            assert before == match(k4, "P2", config=fast_config).count
+            assert svc.query("g", "P2").result_cache_hit
+
+            assert svc.apply_edges("g", add=[(0, 4), (1, 4), (2, 4), (3, 4)]) == 2
+            after = svc.query("g", "P2")
+            assert not after.result_cache_hit
+            assert after.graph_version == 2
+            expected = match(
+                svc.graph("g"), "P2", config=fast_config
+            ).count
+            assert after.count == expected
+            assert after.count != before
+
+    def test_apply_edges_remove(self, k4, fast_config):
+        with make_service() as svc:
+            svc.register_graph("g", k4)
+            svc.apply_edges("g", remove=[(0, 1)])
+            got = svc.query("g", "P1").count
+            expected = match(
+                svc.graph("g"), "P1", config=fast_config
+            ).count
+            assert got == expected
+
+    def test_eager_invalidation_drops_entries(self, k4):
+        with make_service(eager_invalidation=True) as svc:
+            svc.register_graph("g", k4)
+            svc.query("g", "P1")
+            assert len(svc.result_cache) == 1
+            svc.apply_edges("g", add=[(0, 4)])
+            assert len(svc.result_cache) == 0
+            assert svc.result_cache.stats().invalidations == 1
+
+    def test_per_request_config_override(self, small_plc, fast_config):
+        with make_service() as svc:
+            svc.register_graph("g", small_plc)
+            base = svc.query("g", "P1")
+            other = svc.query(
+                "g", "P1", config=fast_config.replace(num_warps=4)
+            )
+        # Different config fingerprint: not a cache hit, same count.
+        assert not other.result_cache_hit
+        assert other.count == base.count
+
+    def test_plan_cache_shared_across_patterns(self, small_plc):
+        with make_service(enable_result_cache=False) as svc:
+            svc.register_graph("g", small_plc)
+            svc.query("g", "P1")
+            first = svc.plan_cache.stats()
+            svc.query("g", "P1")
+            second = svc.plan_cache.stats()
+        assert first.misses == 1 and first.hits == 0
+        assert second.hits == 1
+        assert svc.metrics.get("plan_compiles") == 1
+
+    def test_unsupported_engine_combo_is_typed(self, labeled_plc):
+        # PBE cannot run labeled queries -> "N/A" response, not a crash.
+        with make_service() as svc:
+            svc.register_graph("g", labeled_plc)
+            resp = svc.query("g", "P12", engine="pbe")
+        assert resp.error == "N/A"
+        assert not resp.ok
+
+    def test_stop_rejects_queued_and_new(self, k4):
+        svc = make_service(autostart=False)
+        svc.register_graph("g", k4)
+        ticket = svc.submit(MatchRequest(graph_id="g", query="P1"))
+        svc.stop()
+        with pytest.raises(AdmissionRejected):
+            ticket.result(timeout=5.0)
+        with pytest.raises(AdmissionRejected):
+            svc.submit(MatchRequest(graph_id="g", query="P1"))
+
+
+class TestDeadlines:
+    def test_expired_deadline_is_typed_degraded(self, small_plc):
+        with make_service() as svc:
+            svc.register_graph("g", small_plc)
+            resp = svc.query("g", "P3", deadline_ms=0.0, use_result_cache=False)
+            assert resp.error == "DEADLINE"
+            assert resp.degraded
+            assert not resp.ok
+            assert svc.metrics.get("deadline_expired") == 1
+            # The service survives and keeps answering.
+            assert svc.query("g", "P1").ok
+
+    def test_generous_deadline_runs_normally(self, k4, fast_config):
+        with make_service() as svc:
+            svc.register_graph("g", k4)
+            resp = svc.query("g", "P1", deadline_ms=60_000.0)
+        assert resp.ok
+        assert not resp.degraded
+        assert resp.count == match(k4, "P1", config=fast_config).count
+
+
+class TestAdmissionControl:
+    def test_shed_lowest_priority(self, k4):
+        # Workers never started: the queue keeps what we put in it.
+        svc = make_service(autostart=False, max_queue=2)
+        svc.register_graph("g", k4)
+        low = svc.submit(MatchRequest(graph_id="g", query="P1", priority=0))
+        svc.submit(MatchRequest(graph_id="g", query="P1", priority=5))
+        svc.submit(MatchRequest(graph_id="g", query="P1", priority=5))
+        with pytest.raises(AdmissionRejected, match="shed under overload"):
+            low.result(timeout=5.0)
+        assert svc.metrics.get("shed") == 1
+        svc.stop()
+
+    def test_reject_when_priority_does_not_beat_floor(self, k4):
+        svc = make_service(autostart=False, max_queue=1)
+        svc.register_graph("g", k4)
+        svc.submit(MatchRequest(graph_id="g", query="P1", priority=3))
+        with pytest.raises(AdmissionRejected, match="does not beat"):
+            svc.submit(MatchRequest(graph_id="g", query="P1", priority=3))
+        assert svc.metrics.get("rejected") == 1
+        svc.stop()
+
+
+class TestConcurrency:
+    def test_multi_thread_counts_match_single_shot(self, small_plc, fast_config):
+        """Many client threads, 2 workers, no result cache: every response
+        must still carry exactly the one-shot match() count."""
+        patterns = ["P1", "P2", "P7"]
+        expected = {
+            p: match(small_plc, p, config=fast_config).count for p in patterns
+        }
+        responses = []
+        errors = []
+        with make_service(workers=2, enable_result_cache=False) as svc:
+            svc.register_graph("g", small_plc)
+
+            def client(i: int) -> None:
+                try:
+                    responses.append(svc.query("g", patterns[i % 3], timeout=120.0))
+                except Exception as exc:  # surface in the main thread
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=client, args=(i,)) for i in range(12)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert not errors
+        assert len(responses) == 12
+        for r in responses:
+            assert r.ok
+            assert r.count == expected[r.query_name]
+        assert svc.metrics.get("completed") == 12
+
+    def test_batching_shares_candidate_build(self, small_plc):
+        """Same-graph burst forms batches > 1 under one worker."""
+        with make_service(batch_window_ms=20.0) as svc:
+            svc.register_graph("g", small_plc)
+            tickets = [
+                svc.submit(
+                    MatchRequest(
+                        graph_id="g", query="P1", use_result_cache=False
+                    )
+                )
+                for _ in range(6)
+            ]
+            sizes = [t.result(timeout=120.0).batch_size for t in tickets]
+        assert max(sizes) > 1

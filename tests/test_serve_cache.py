@@ -1,0 +1,149 @@
+"""Unit tests for serve-layer caches, fingerprints, metrics, and the
+deadline-fitted retry policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import TDFSConfig, compile_plan, get_pattern
+from repro.faults import (
+    RUNG_CPU_FALLBACK,
+    RetryPolicy,
+    deadline_policy,
+)
+from repro.query.pattern import QueryGraph
+from repro.serve import (
+    Histogram,
+    LRUCache,
+    ServeMetrics,
+    config_fingerprint,
+    plan_fingerprint,
+    plan_key,
+    result_key,
+)
+
+
+class TestLRUCache:
+    def test_hit_miss_counters(self):
+        c = LRUCache(4)
+        assert c.get(("g", 1)) is None
+        c.put(("g", 1), "x")
+        assert c.get(("g", 1)) == "x"
+        s = c.stats()
+        assert (s.hits, s.misses, s.size) == (1, 1, 1)
+        assert s.hit_rate == pytest.approx(0.5)
+
+    def test_lru_eviction_order(self):
+        c = LRUCache(2)
+        c.put(("g", 1), 1)
+        c.put(("g", 2), 2)
+        c.get(("g", 1))  # refresh 1 -> 2 is now LRU
+        c.put(("g", 3), 3)
+        assert c.get(("g", 2)) is None
+        assert c.get(("g", 1)) == 1
+        assert c.stats().evictions == 1
+
+    def test_invalidate_graph_only_drops_matching(self):
+        c = LRUCache(8)
+        c.put(("a", 1, "fp"), 1)
+        c.put(("a", 2, "fp"), 2)
+        c.put(("b", 1, "fp"), 3)
+        assert c.invalidate_graph("a") == 2
+        assert len(c) == 1
+        assert c.get(("b", 1, "fp")) == 3
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+
+class TestFingerprints:
+    def test_plan_fp_ignores_name(self):
+        a = QueryGraph(3, [(0, 1), (1, 2), (2, 0)], name="tri")
+        b = QueryGraph(3, [(2, 0), (0, 1), (1, 2)], name="other")
+        assert plan_fingerprint(a) == plan_fingerprint(b)
+
+    def test_plan_fp_distinguishes_structure(self):
+        tri = QueryGraph(3, [(0, 1), (1, 2), (2, 0)])
+        path = QueryGraph(3, [(0, 1), (1, 2)])
+        assert plan_fingerprint(tri) != plan_fingerprint(path)
+
+    def test_precompiled_plan_pins_flags(self):
+        q = get_pattern("P1")
+        on = compile_plan(q, enable_symmetry=True)
+        off = compile_plan(q, enable_symmetry=False)
+        assert plan_fingerprint(on) != plan_fingerprint(off)
+        assert plan_fingerprint(on) != plan_fingerprint(q)
+
+    def test_config_fp_skips_result_irrelevant_fields(self):
+        base = TDFSConfig()
+        assert config_fingerprint(base) == config_fingerprint(
+            base.replace(max_events=123, trace=True)
+        )
+        assert config_fingerprint(base) != config_fingerprint(
+            base.replace(num_warps=7)
+        )
+
+    def test_keys_include_version_and_collect(self):
+        assert plan_key("g", 1, "fp", "tdfs", "cfg") != plan_key(
+            "g", 2, "fp", "tdfs", "cfg"
+        )
+        assert result_key("g", 1, "fp", "tdfs", "cfg", 0) != result_key(
+            "g", 1, "fp", "tdfs", "cfg", 10
+        )
+
+
+class TestMetrics:
+    def test_histogram_percentiles(self):
+        h = Histogram(window=100)
+        for v in range(1, 101):
+            h.record(float(v))
+        snap = h.snapshot()
+        assert snap["count"] == 100
+        assert snap["p50"] == pytest.approx(50.0, abs=1.0)
+        assert snap["p95"] == pytest.approx(95.0)
+        assert snap["max"] == pytest.approx(100.0)
+
+    def test_empty_histogram(self):
+        snap = Histogram().snapshot()
+        assert snap["count"] == 0
+        assert snap["mean"] == 0.0
+
+    def test_counters_and_render(self):
+        m = ServeMetrics()
+        m.incr("submitted")
+        m.incr("completed")
+        m.observe_latency(5.0)
+        m.observe_batch(4)
+        snap = m.snapshot()
+        assert snap["counters"]["submitted"] == 1
+        assert snap["batch_size"]["max"] == 4.0
+        text = m.render()
+        assert "repro.serve metrics" in text
+        assert "1 submitted" in text
+
+
+class TestDeadlinePolicy:
+    def test_no_deadline_passthrough(self):
+        base = RetryPolicy()
+        assert deadline_policy(None, None, base=base) == (base, ())
+
+    def test_plenty_of_budget_untouched(self):
+        base = RetryPolicy()
+        policy, rungs = deadline_policy(80.0, 100.0, base=base)
+        assert policy is base
+        assert rungs == ()
+
+    def test_tight_budget_trims_ladder(self):
+        base = RetryPolicy(max_attempts=6, backoff_base_cycles=500)
+        policy, rungs = deadline_policy(20.0, 100.0, base=base)
+        assert policy.max_attempts == 2
+        assert policy.backoff_base_cycles == 0
+        assert policy.ladder == (RUNG_CPU_FALLBACK,)
+        assert rungs  # pre-degradation requested
+
+    def test_tight_budget_without_base(self):
+        policy, rungs = deadline_policy(-5.0, 100.0, base=None)
+        assert policy is not None
+        assert policy.ladder == (RUNG_CPU_FALLBACK,)
+        assert rungs
