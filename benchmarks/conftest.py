@@ -12,7 +12,18 @@ import re
 
 import pytest
 
-from repro.bench.harness import results_dir
+from repro.bench.harness import dump_session_metrics, results_dir
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Dump every cell's obs snapshot as results/bench-metrics.tsv.
+
+    Same flat schema as ``MatchResult.metrics`` (see repro.obs), one row
+    per (dataset, pattern, engine, metric).
+    """
+    path = dump_session_metrics()
+    if path:
+        print(f"\nbench obs metrics -> {path}")
 
 
 @pytest.fixture

@@ -23,6 +23,7 @@ from repro.core.engine import TDFSEngine, available_engines, match
 from repro.core.result import MatchResult, RecoveryStats
 from repro.faults import FaultKind, FaultPlan, FaultSpec, RetryPolicy
 from repro.graph.builder import GraphBuilder, from_edges, relabel_random
+from repro.obs import Observability, Registry, Tracer
 from repro.graph.csr import CSRGraph
 from repro.graph.datasets import DATASETS, dataset_names, load_dataset
 from repro.query.pattern import QueryGraph
@@ -54,6 +55,9 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "RetryPolicy",
+    "Observability",
+    "Registry",
+    "Tracer",
     "match",
     "available_engines",
     "DATASETS",

@@ -24,6 +24,36 @@ from repro.query.patterns import get_pattern
 from repro.query.pattern import QueryGraph
 
 
+#: Per-session obs snapshots collected by :func:`run_cell`: rows of
+#: ``(dataset, pattern, engine, metrics_dict)``.  The benchmark conftest
+#: dumps them as ``results/bench-metrics.tsv`` at session end, giving every
+#: bench run the same metrics schema as ``MatchResult.metrics``.
+SESSION_METRICS: list[tuple[str, str, str, dict]] = []
+
+
+def record_cell_metrics(
+    dataset: str, pattern_name: str, engine: str, result: MatchResult
+) -> None:
+    """Collect a cell's obs snapshot for the session-end TSV dump."""
+    if result.metrics:
+        SESSION_METRICS.append((dataset, pattern_name, engine, result.metrics))
+
+
+def dump_session_metrics(path: Optional[str] = None) -> Optional[str]:
+    """Write collected cell snapshots as a long-format TSV; returns path."""
+    if not SESSION_METRICS:
+        return None
+    if path is None:
+        path = os.path.join(results_dir(), "bench-metrics.tsv")
+    with open(path, "w") as fh:
+        fh.write("# obs registry snapshots per benchmark cell\n")
+        fh.write("dataset\tpattern\tengine\tmetric\tvalue\n")
+        for dataset, pattern, engine, metrics in SESSION_METRICS:
+            for metric, value in metrics.items():
+                fh.write(f"{dataset}\t{pattern}\t{engine}\t{metric}\t{value}\n")
+    return path
+
+
 def quick_mode() -> bool:
     """True when REPRO_BENCH_QUICK requests the reduced grids."""
     return os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
@@ -94,7 +124,9 @@ def run_cell(
     if isinstance(pattern, str):
         pattern = get_pattern(pattern)
     try:
-        return match(graph, pattern, engine=engine, config=cfg)
+        result = match(graph, pattern, engine=engine, config=cfg)
+        record_cell_metrics(dataset, pattern.name, engine, result)
+        return result
     except UnsupportedError:
         result = MatchResult(
             engine=engine,

@@ -24,6 +24,12 @@ Commands
         python -m repro serve --dataset dblp --workload reqs.jsonl
 ``chaos``
     Run under deterministic fault injection and report survival.
+``profile``
+    Run one job with span tracing on and report a flamegraph-style
+    breakdown plus the metrics snapshot; ``--trace out.json`` exports a
+    Chrome ``trace_event`` timeline::
+
+        python -m repro profile --dataset dblp --pattern P3 --trace out.json
 """
 
 from __future__ import annotations
@@ -253,6 +259,54 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Profile one matching run: spans + metrics snapshot (+ Chrome JSON)."""
+    from repro.obs import Observability
+
+    obs = Observability(tracing=True, sample_every=args.sample_every)
+    config = TDFSConfig(
+        num_warps=args.warps,
+        chunk_size=args.chunk_size,
+        strategy=Strategy(args.strategy),
+        device_memory=DATASETS[args.dataset].device_memory,
+        obs=obs,
+    )
+    # Default to a small τ so the bundled example actually exercises the
+    # timeout-steal path (the paper's τ is tuned for billion-edge graphs).
+    tau_us = args.tau_us if args.tau_us is not None else 1.0
+    config = config.replace(tau_cycles=max(1, int(tau_us * 1000)))
+    graph = load_dataset(args.dataset, num_labels=args.labels)
+    engine = make_engine(args.engine, config)
+    result = engine.run(graph, get_pattern(args.pattern))
+    print(result.summary())
+    print()
+    print(obs.tracer.summary())
+    print()
+    print("--- metrics snapshot ---")
+    metrics = result.metrics or obs.flat()
+    for name, value in metrics.items():
+        print(f"{name:<28} {value}")
+    # Consistency: the registry's steal/timeout counters must equal the
+    # values reported on the MatchResult for the same deterministic run.
+    m_timeouts = metrics.get("warp.timeouts")
+    m_steals = metrics.get("warp.steals")
+    consistent = m_timeouts == result.timeouts and m_steals == result.steals
+    print()
+    print(
+        f"consistency      : metrics timeouts/steals = "
+        f"{m_timeouts}/{m_steals}, result = "
+        f"{result.timeouts}/{result.steals} "
+        f"({'OK' if consistent else 'MISMATCH'})"
+    )
+    if args.trace:
+        obs.tracer.write_chrome(args.trace)
+        print(
+            f"trace            : {len(obs.tracer.spans)} spans -> {args.trace} "
+            f"(open in chrome://tracing or ui.perfetto.dev)"
+        )
+    return 0 if consistent and not result.failed else 1
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     """Chaos harness: run with seeded fault injection, verify survival."""
     from repro.faults import FaultPlan, RetryPolicy, format_survival_report
@@ -381,6 +435,37 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_p.add_argument("--cas-storm-rate", type=float, default=0.05)
     chaos_p.add_argument("--stall-rate", type=float, default=0.1)
     chaos_p.set_defaults(func=_cmd_chaos)
+
+    prof_p = sub.add_parser(
+        "profile",
+        help="run one job with span tracing and report the breakdown",
+    )
+    prof_p.add_argument("--dataset", default="dblp", choices=list(DATASETS))
+    prof_p.add_argument("--pattern", default="P3")
+    prof_p.add_argument(
+        "--engine", default="tdfs", choices=list(available_engines())
+    )
+    prof_p.add_argument("--labels", type=int, default=None)
+    prof_p.add_argument("--warps", type=int, default=64)
+    prof_p.add_argument("--chunk-size", type=int, default=8)
+    prof_p.add_argument(
+        "--tau-us", type=float, default=None,
+        help="timeout threshold in virtual microseconds (default 1.0, "
+             "small enough to exercise timeout steals on the stand-ins)",
+    )
+    prof_p.add_argument(
+        "--strategy", default="timeout",
+        choices=[s.value for s in Strategy],
+    )
+    prof_p.add_argument(
+        "--sample-every", type=int, default=1,
+        help="keep 1 of every N spans per name (counts stay exact)",
+    )
+    prof_p.add_argument(
+        "--trace", default=None, metavar="OUT",
+        help="write the per-warp timeline as Chrome trace_event JSON",
+    )
+    prof_p.set_defaults(func=_cmd_profile)
     return parser
 
 

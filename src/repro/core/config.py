@@ -16,6 +16,7 @@ from repro.errors import ReproError
 
 if TYPE_CHECKING:  # avoid a runtime import cycle (faults → … → config)
     from repro.faults.plan import FaultPlan, RetryPolicy
+    from repro.obs import Observability
 from repro.gpusim.costmodel import CostModel, CYCLES_PER_MS, DEFAULT_COST_MODEL
 from repro.gpusim.device import DEFAULT_NUM_WARPS
 
@@ -111,6 +112,11 @@ class TDFSConfig:
     """Resilient execution: retry/degradation/failover policy.  ``None``
     disables recovery — fatal device errors surface in ``MatchResult.error``
     exactly as before."""
+
+    obs: Optional["Observability"] = None
+    """Observability bundle (metrics registry + span tracer, see
+    :mod:`repro.obs`).  ``None`` = a fresh per-run registry with tracing
+    disabled; pass your own to accumulate across runs or enable tracing."""
 
     # ------------------------------------------------------------------ #
 

@@ -34,6 +34,7 @@ from repro.errors import (
 from repro.gpusim.device import VirtualGPU
 from repro.graph.csr import CSRGraph
 from repro.graph.datasets import DEFAULT_DEVICE_MEMORY
+from repro.obs import Observability
 from repro.query.pattern import QueryGraph
 from repro.query.plan import MatchingPlan, compile_plan
 from repro.taskqueue.ring import LockFreeTaskQueue
@@ -428,6 +429,10 @@ class TDFSEngine:
         job_sink: Optional[list] = None,
     ) -> None:
         cfg = self.config
+        # Per-run observability: a caller-provided bundle accumulates across
+        # runs (profile/serve); otherwise a fresh registry makes
+        # ``result.metrics`` an exact snapshot of this run alone.
+        obs = cfg.obs if cfg.obs is not None else Observability()
         host_cycles = 0
         prefiltered = False
         resuming = bool(resume_groups)
@@ -453,7 +458,9 @@ class TDFSEngine:
         queue: Optional[LockFreeTaskQueue] = None
         if cfg.strategy is Strategy.TIMEOUT:
             queue = LockFreeTaskQueue(
-                capacity_ints=cfg.queue_capacity_tasks * 3, cost=cfg.cost
+                capacity_ints=cfg.queue_capacity_tasks * 3,
+                cost=cfg.cost,
+                registry=obs.registry,
             )
             gpu.memory.allocate(queue.memory_bytes(), tag="task-queue")
             result.memory.queue_bytes = queue.memory_bytes()
@@ -507,6 +514,8 @@ class TDFSEngine:
             prefix_width=prefix_width,
             collect_limit=collect_matches,
             extra_groups=resume_groups,
+            tracer=obs.tracer,
+            device=_device_index(gpu.name),
             **job_extra,
         )
         if job_sink is not None:
@@ -548,11 +557,48 @@ class TDFSEngine:
                 peak_tasks=queue.peak_tasks,
             )
         result.trace = gpu.trace
+        result.intersections = job.intersections
+        result.reuse_hits = job.reuse_hits
         mem = result.memory
         mem.stack_bytes = job.stack_bytes()
         mem.device_peak_bytes = gpu.memory.peak
         if allocator is not None:
             mem.pages_allocated = allocator.peak_in_use
+
+        # ----- publish into the obs registry ----------------------------- #
+        reg = obs.registry
+        reg.counter("engine.matches").inc(job.count)
+        reg.counter("engine.intersections").inc(job.intersections)
+        reg.counter("engine.reuse_hits").inc(job.reuse_hits)
+        reg.counter("engine.kernel_launches").inc(gpu.kernel_launches)
+        reg.counter("warp.timeouts").inc(agg.timeouts)
+        reg.counter("warp.steals").inc(agg.steals)
+        reg.counter("warp.chunks_fetched").inc(agg.chunks)
+        reg.counter("warp.tasks_enqueued").inc(agg.tasks_enqueued)
+        reg.counter("warp.tasks_dequeued").inc(agg.tasks_dequeued)
+        reg.counter("sim.busy_cycles").inc(agg.busy_cycles)
+        reg.counter("sim.idle_cycles").inc(agg.idle_cycles)
+        gpu.scheduler.publish(reg)
+        if queue is not None:
+            queue.publish(reg)
+        if allocator is not None:
+            allocator.publish(reg)
+        mem_gauge = reg.gauge("mem.device_bytes")
+        mem_gauge.set(gpu.memory.used)
+        mem_gauge.set_peak(gpu.memory.peak)
+        reg.gauge("mem.stack_bytes").set(mem.stack_bytes)
+        result.metrics = reg.flat()
+
+
+def _device_index(gpu_name: str) -> int:
+    """Device index from names like ``gpu0`` / ``gpu2+fo1`` (trace pids)."""
+    digits = ""
+    for ch in gpu_name:
+        if ch.isdigit():
+            digits += ch
+        elif digits:
+            break
+    return int(digits) if digits else 0
 
 
 def match(

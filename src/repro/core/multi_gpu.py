@@ -49,6 +49,11 @@ def run_multi_gpu(
     if engine.config.retry is not None:
         _failover(graph, plan, engine, per_gpu, collect_matches)
     merged = merge_results(per_gpu, num_gpus)
+    if engine.config.obs is not None:
+        # A shared obs bundle already accumulated every device's publish;
+        # its snapshot is authoritative (summing per-device snapshots of
+        # the same registry would double-count).
+        merged.metrics = engine.config.obs.flat()
     if collect_matches:
         merged.matches = []
         for r in per_gpu:
@@ -118,6 +123,24 @@ def _failover(
         dead.recovery.faults_survived += 1
 
 
+def _merge_metrics(per_gpu_metrics: list) -> dict:
+    """Combine per-device obs snapshots: sums, except ``.peak`` keys (max).
+
+    Counters and cycle totals add across devices; high-water marks are
+    per-device levels, so the fleet peak is the max.
+    """
+    merged: dict = {}
+    for metrics in per_gpu_metrics:
+        if not metrics:
+            continue
+        for key, value in metrics.items():
+            if key in merged and key.endswith(".peak"):
+                merged[key] = max(merged[key], value)
+            else:
+                merged[key] = merged.get(key, 0) + value
+    return merged or None
+
+
 def merge_results(per_gpu: list[MatchResult], num_gpus: int) -> MatchResult:
     """Combine per-device results: counts sum, makespan is the max."""
     first = per_gpu[0]
@@ -144,6 +167,9 @@ def merge_results(per_gpu: list[MatchResult], num_gpus: int) -> MatchResult:
     merged.steals = sum(r.steals for r in per_gpu)
     merged.chunks_fetched = sum(r.chunks_fetched for r in per_gpu)
     merged.kernel_launches = sum(r.kernel_launches for r in per_gpu)
+    merged.intersections = sum(r.intersections for r in per_gpu)
+    merged.reuse_hits = sum(r.reuse_hits for r in per_gpu)
+    merged.metrics = _merge_metrics([r.metrics for r in per_gpu])
     merged.load_imbalance = max(r.load_imbalance for r in per_gpu)
     merged.queue.enqueued = sum(r.queue.enqueued for r in per_gpu)
     merged.queue.dequeued = sum(r.queue.dequeued for r in per_gpu)

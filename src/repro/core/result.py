@@ -120,6 +120,13 @@ class MatchResult:
     steals: int = 0
     kernel_launches: int = 0
     chunks_fetched: int = 0
+    intersections: int = 0
+    """Adjacency-list intersection operations performed (set ops)."""
+    reuse_hits: int = 0
+    """Intersections answered from the plan's reuse cache."""
+    metrics: Optional[dict] = field(default=None, repr=False)
+    """Flat observability snapshot (``repro.obs`` registry ``flat()``
+    schema) taken at the end of the run."""
     host_preprocess_cycles: int = 0
     queue: QueueStats = field(default_factory=QueueStats)
     memory: MemoryStats = field(default_factory=MemoryStats)
@@ -172,6 +179,9 @@ class MatchResult:
             "steals": self.steals,
             "kernel_launches": self.kernel_launches,
             "chunks_fetched": self.chunks_fetched,
+            "intersections": self.intersections,
+            "reuse_hits": self.reuse_hits,
+            "metrics": dict(self.metrics) if self.metrics else None,
             "busy_cycles": self.busy_cycles,
             "idle_cycles": self.idle_cycles,
             "host_preprocess_ms": self.host_preprocess_cycles / CYCLES_PER_MS,

@@ -39,6 +39,7 @@ from repro.core.intersect import intersect_sorted
 from repro.errors import IllegalAccessError
 from repro.gpusim.device import VirtualGPU, Warp
 from repro.graph.csr import CSRGraph
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.query.plan import MatchingPlan
 from repro.alloc.stack import WarpStack, LevelFactory
 from repro.taskqueue.ring import LockFreeTaskQueue
@@ -121,6 +122,8 @@ class MatchJob:
         prefix_width: int = 2,
         collect_limit: int = 0,
         extra_groups: Optional[list] = None,
+        tracer: Optional[Tracer] = None,
+        device: int = 0,
     ) -> None:
         self.graph = graph
         self.plan = plan
@@ -144,6 +147,13 @@ class MatchJob:
         self.run_states: list[RunState] = []
         self.strategy = config.strategy
         self.tau = config.tau_cycles
+        #: Span tracer (see :mod:`repro.obs`); the shared NULL_TRACER makes
+        #: every record() a no-op when tracing is off.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.device = int(device)
+        #: Set-operation accounting (published into the obs registry).
+        self.intersections = 0
+        self.reuse_hits = 0
         #: Recovered work groups ``(rows, width)`` fed back into the warps on
         #: a resume run (see :mod:`repro.faults.recovery`).  Consumed after
         #: ``edges`` with the same chunked fetch protocol.
@@ -263,7 +273,9 @@ class MatchJob:
                     warp.stats.tasks_dequeued += 1
                     self.busy += 1
                     st.busy_flag = True
+                    t0 = warp.now
                     yield from self._process_task(warp, st, task)
+                    self.tracer.record("match", warp.wid, t0, warp.now, self.device)
                     st.busy_flag = False
                     self.busy -= 1
                     self.gpu.note_work_done(warp.now)
@@ -290,7 +302,11 @@ class MatchJob:
                     if len(chunk):
                         self.busy += 1
                         st.busy_flag = True
+                        t0 = warp.now
                         yield from self._process_chunk(warp, st, chunk)
+                        self.tracer.record(
+                            "match", warp.wid, t0, warp.now, self.device
+                        )
                         st.busy_flag = False
                         self.busy -= 1
                         self.gpu.note_work_done(warp.now)
@@ -330,7 +346,9 @@ class MatchJob:
                 if pending is not None:
                     self.busy += 1
                     st.busy_flag = True
+                    t0 = warp.now
                     yield from self._process_stolen(warp, st, pending)
+                    self.tracer.record("match", warp.wid, t0, warp.now, self.device)
                     st.busy_flag = False
                     self.busy -= 1
                     self.gpu.note_work_done(warp.now)
@@ -442,6 +460,9 @@ class MatchJob:
             # The item's first unfilled position is the leaf: bulk count.
             st.inflight = prefix_len  # level.write may abort mid-expansion
             raw, cycles = self._raw(st, prefix_len)
+            self.tracer.record(
+                "intersect", warp.wid, warp.now, warp.now + cycles, self.device
+            )
             level = st.stack.level(prefix_len)
             cycles += level.write(raw, cost)
             leaves, leaf_cycles = leaf_matches(
@@ -492,6 +513,9 @@ class MatchJob:
                 if nxt == k - 1:
                     st.inflight = nxt  # level.write may abort mid-expansion
                     raw, cycles = self._raw(st, nxt)
+                    self.tracer.record(
+                        "intersect", warp.wid, warp.now, warp.now + cycles, self.device
+                    )
                     level = st.stack.level(nxt)
                     cycles += level.write(raw, cost)
                     leaves, leaf_cycles = leaf_matches(
@@ -561,6 +585,7 @@ class MatchJob:
             and entry.reuses
             and entry.source >= st.valid_from
         ):
+            self.reuse_hits += 1
             lists = [st.stack.level(entry.source).raw]
             for j in entry.remaining:
                 lists.append(self.adjacency(path[j], pos))
@@ -570,6 +595,7 @@ class MatchJob:
             arr = lists[0]
             return arr, cost.copy_cost(arr.size)
         if len(lists) == 2:
+            self.intersections += 1
             a, b = lists
             if a.size > b.size:
                 a, b = b, a
@@ -578,6 +604,7 @@ class MatchJob:
         a = lists[0]
         cycles = 0
         for b in lists[1:]:
+            self.intersections += 1
             cycles += cost.intersect_cost(a.size, b.size)
             a = intersect_sorted(a, b)
             if a.size == 0:
@@ -601,6 +628,9 @@ class MatchJob:
         # page allocation inside level.write may abort right here.
         st.inflight = pos
         raw, raw_cycles = self._raw(st, pos)
+        self.tracer.record(
+            "intersect", warp.wid, warp.now, warp.now + raw_cycles, self.device
+        )
         level = st.stack.level(pos)
         cycles += raw_cycles + level.write(raw, cost)
         filtered, filter_cycles = filter_candidates(
@@ -657,6 +687,7 @@ class MatchJob:
         warp.stats.timeouts += 1
         v1, v2 = st.path[0], st.path[1]
         f = st.filtered[pos]
+        span0 = warp.now
         # st.iters[pos] is kept in sync inside the loop (not a local copy):
         # once a task is enqueued its candidate is owned by the queue, and a
         # fault at the next yield must not see it on the stack as well.
@@ -667,10 +698,12 @@ class MatchJob:
             warp.charge(cycles)
             if not ok:
                 st.t0 = warp.now
+                self.tracer.record("steal", warp.wid, span0, warp.now, self.device)
                 return False
             self._journal_add(task)
             warp.stats.tasks_enqueued += 1
             st.iters[pos] += 1
+        self.tracer.record("steal", warp.wid, span0, warp.now, self.device)
         return True
 
     def _enqueue_remaining_edges(
@@ -678,6 +711,7 @@ class MatchJob:
     ) -> Generator[int, None, bool]:
         """Ship the chunk's unprocessed edges as 2-vertex tasks."""
         warp.stats.timeouts += 1
+        span0 = warp.now
         while st.chunk_pos < len(st.chunk):
             edge = st.chunk[st.chunk_pos]
             yield warp.sync()
@@ -686,10 +720,12 @@ class MatchJob:
             warp.charge(cycles)
             if not ok:
                 st.t0 = warp.now
+                self.tracer.record("steal", warp.wid, span0, warp.now, self.device)
                 return False
             self._journal_add(task)
             warp.stats.tasks_enqueued += 1
             st.chunk_pos += 1
+        self.tracer.record("steal", warp.wid, span0, warp.now, self.device)
         return True
 
     # ------------------------------------------------------------------ #
@@ -702,6 +738,7 @@ class MatchJob:
         """Probe victims and steal half of the shallowest available level."""
         cost = self.cost
         yield warp.sync()
+        probe0 = warp.now
         warp.charge(cost.steal_probe)
         for victim in self.run_states:
             if victim is st or not victim.busy_flag:
@@ -709,6 +746,7 @@ class MatchJob:
             pending = self._steal_from(warp, victim)
             if pending is not None:
                 warp.stats.steals += 1
+                self.tracer.record("steal", warp.wid, probe0, warp.now, self.device)
                 return pending
         return None
 
@@ -809,6 +847,7 @@ class MatchJob:
         def body(warp: Warp) -> Generator[int, None, None]:
             cst.busy_flag = True
             cst.t0 = warp.now
+            t0 = warp.now
             while cst.aux_pos < len(cst.aux_cands):
                 c = cst.aux_cands[cst.aux_pos]
                 cst.aux_pos += 1
@@ -816,6 +855,7 @@ class MatchJob:
                 cst.path[pos] = int(c)
                 yield from self._process_item(warp, cst, pos + 1)
             cst.aux_cands = None
+            self.tracer.record("match", warp.wid, t0, warp.now, self.device)
             cst.busy_flag = False
             yield warp.sync()
             self.busy -= 1

@@ -91,3 +91,13 @@ class Scheduler:
             heapq.heappush(heap, (time + int(spent), self._seq, warp, body))
             self._seq += 1
         return self.now
+
+    def publish(self, registry) -> None:
+        """Export scheduler totals into an obs registry (run end).
+
+        ``registry`` is a :class:`repro.obs.Registry`; duck-typed to keep
+        the simulator importable without the obs package.
+        """
+        registry.counter("sim.events").inc(self.events)
+        registry.counter("sim.warps_completed").inc(self.completed)
+        registry.gauge("sim.now_cycles").set(self.now)

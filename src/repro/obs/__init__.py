@@ -1,0 +1,85 @@
+"""repro.obs — unified observability: typed metrics, tracing, sinks.
+
+One substrate shared by the simulator (`gpusim`), the task queue, the
+allocator, the matching engines, the serving layer, and the benchmark
+harness.  See DESIGN.md §8 for the instrument inventory, trace schema,
+and overhead policy.
+
+The usual entry point is :class:`Observability`, a bundle of one
+:class:`Registry` and one :class:`Tracer` that travels through a run:
+
+    obs = Observability(tracing=True, sample_every=10)
+    cfg = TDFSConfig(..., obs=obs)
+    result = engine.run(...)
+    print(obs.tracer.summary())
+    obs.tracer.write_chrome("trace.json")
+
+Tracing is off by default (``NULL_TRACER``); metrics publishing happens
+at run end from counters the hot paths already keep, so the
+disabled-by-default path changes no simulated behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .registry import Counter, Gauge, Histogram, Registry, DEFAULT_BUCKETS
+from .sinks import LineProtocolSink, MemorySink, TSVSink
+from .tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Registry",
+    "DEFAULT_BUCKETS",
+    "MemorySink",
+    "TSVSink",
+    "LineProtocolSink",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Observability",
+]
+
+
+class Observability:
+    """A registry + tracer pair scoped to one run (or one process).
+
+    ``tracing=False`` (the default) installs :data:`NULL_TRACER`, so code
+    holding ``obs.tracer`` pays a no-op call per span site and nothing is
+    allocated.
+    """
+
+    def __init__(
+        self,
+        tracing: bool = False,
+        sample_every: int = 1,
+        max_spans: int = 200_000,
+        threaded: bool = False,
+        registry: Optional[Registry] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else Registry(threaded=threaded)
+        if tracer is not None:
+            self.tracer = tracer
+        elif tracing:
+            self.tracer = Tracer(
+                enabled=True, sample_every=sample_every, max_spans=max_spans
+            )
+        else:
+            self.tracer = NULL_TRACER
+
+    @property
+    def tracing(self) -> bool:
+        return self.tracer.enabled
+
+    def flat(self) -> dict:
+        return self.registry.flat()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Observability(tracing={self.tracing}, "
+            f"instruments={len(self.registry)}, spans={len(self.tracer)})"
+        )

@@ -1,0 +1,103 @@
+"""Pluggable export sinks for a :class:`~repro.obs.registry.Registry`.
+
+A sink turns one registry snapshot into one output format:
+
+* :class:`MemorySink` — keeps snapshots in a list; what tests use.
+* :class:`TSVSink` — the ``results/`` schema (``metric<TAB>value`` rows
+  with a comment header), matching the benchmark table style.
+* :class:`LineProtocolSink` — influx-style line protocol for the serving
+  layer (``measurement,tag=v field=value timestamp``).
+
+Sinks are pull-based: call :meth:`emit` with a registry when you want a
+snapshot; nothing runs in the hot path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .registry import Registry
+
+__all__ = ["MemorySink", "TSVSink", "LineProtocolSink"]
+
+
+class MemorySink:
+    """Accumulates flat snapshots in memory (for tests)."""
+
+    def __init__(self) -> None:
+        self.snapshots: list[dict] = []
+
+    def emit(self, registry: Registry) -> dict:
+        snap = registry.flat()
+        self.snapshots.append(snap)
+        return snap
+
+    @property
+    def last(self) -> Optional[dict]:
+        return self.snapshots[-1] if self.snapshots else None
+
+
+class TSVSink:
+    """Writes ``metric<TAB>value`` rows, the ``results/`` snapshot schema."""
+
+    def __init__(self, path: str, comment: str = "") -> None:
+        self.path = path
+        self.comment = comment
+
+    def emit(self, registry: Registry) -> str:
+        text = self.render(registry)
+        with open(self.path, "w") as fh:
+            fh.write(text)
+        return text
+
+    def render(self, registry: Registry) -> str:
+        lines = []
+        if self.comment:
+            lines.append(f"# {self.comment}")
+        lines.append("metric\tvalue")
+        for name, value in registry.flat().items():
+            lines.append(f"{name}\t{_fmt(value)}")
+        return "\n".join(lines) + "\n"
+
+
+class LineProtocolSink:
+    """Influx-style line protocol dump for the serving layer.
+
+    One line per series: ``repro,metric=<name>[,tag=v...] value=<v> <ts>``.
+    The timestamp is supplied by the caller (the serving layer owns the
+    wall clock; the simulator has only virtual time).
+    """
+
+    def __init__(self, measurement: str = "repro", tags: Optional[dict] = None) -> None:
+        self.measurement = measurement
+        self.tags = dict(tags or {})
+        self.lines: list[str] = []
+
+    def emit(self, registry: Registry, timestamp_ns: int = 0) -> list[str]:
+        tag_str = "".join(
+            f",{k}={_escape(str(v))}" for k, v in sorted(self.tags.items())
+        )
+        batch = []
+        for name, value in registry.flat().items():
+            line = (
+                f"{self.measurement},metric={_escape(name)}{tag_str} "
+                f"value={_fmt(value)} {int(timestamp_ns)}"
+            )
+            batch.append(line)
+        self.lines.extend(batch)
+        return batch
+
+    def render(self) -> str:
+        return "\n".join(self.lines) + ("\n" if self.lines else "")
+
+
+def _fmt(value) -> str:
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    return f"{value:g}"
+
+
+def _escape(s: str) -> str:
+    return s.replace(" ", "\\ ").replace(",", "\\,").replace("=", "\\=")

@@ -1,0 +1,172 @@
+"""Span-based tracer with per-warp timeline events.
+
+Spans are named intervals in *virtual* time — the discrete-event
+simulator's cycle clock — attributed to a warp on a device.  The tracer
+exports two views:
+
+* Chrome ``trace_event`` JSON (:meth:`Tracer.to_chrome`), loadable in
+  ``chrome://tracing`` / Perfetto.  The mapping: 1 virtual cycle ≈ 1 ns,
+  so ``ts``/``dur`` (microseconds) are ``cycles / 1000``.  Devices map to
+  processes (``pid``), warps to threads (``tid``).
+* a text flamegraph-style summary (:meth:`Tracer.summary`) aggregating
+  total time and call counts per span name.
+
+Tracing is **off by default**: the module-level :data:`NULL_TRACER` is
+what every hot path holds unless a profile run installs a real tracer,
+and its ``record`` is a no-op so the disabled path costs one attribute
+check.  A real tracer bounds its own overhead with ``sample_every`` (keep
+1 of every N spans per name) and ``max_spans``; per-name *counts* stay
+exact even when span objects are sampled out.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One named interval of virtual time on a warp."""
+
+    name: str
+    warp: int
+    start: int  # virtual cycles
+    end: int  # virtual cycles
+    device: int = 0
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+
+class Tracer:
+    """Collects :class:`Span` records from instrumented hot paths."""
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        sample_every: int = 1,
+        max_spans: int = 200_000,
+    ) -> None:
+        self.enabled = enabled
+        self.sample_every = max(1, int(sample_every))
+        self.max_spans = max(0, int(max_spans))
+        self.spans: list[Span] = []
+        #: Exact per-name event counts — kept even for sampled-out spans.
+        self.counts: dict[str, int] = {}
+        #: Exact per-name total cycles — same.
+        self.cycles: dict[str, int] = {}
+        self.dropped = 0
+
+    def record(
+        self, name: str, warp: int, start: int, end: int, device: int = 0
+    ) -> None:
+        if not self.enabled:
+            return
+        n = self.counts.get(name, 0) + 1
+        self.counts[name] = n
+        self.cycles[name] = self.cycles.get(name, 0) + (end - start)
+        if n % self.sample_every != 0:
+            return
+        if len(self.spans) >= self.max_spans:
+            self.dropped += 1
+            return
+        self.spans.append(Span(name, warp, start, end, device))
+
+    # ------------------------------------------------------------------ #
+    # Export: Chrome trace_event JSON
+    # ------------------------------------------------------------------ #
+
+    def to_chrome(self) -> dict:
+        """Chrome ``trace_event`` object format (1 cycle ≈ 1 ns)."""
+        events: list[dict] = []
+        devices = sorted({s.device for s in self.spans})
+        for dev in devices:
+            events.append(
+                {
+                    "ph": "M",
+                    "pid": dev,
+                    "tid": 0,
+                    "name": "process_name",
+                    "args": {"name": f"virtual-gpu-{dev}"},
+                }
+            )
+        for s in self.spans:
+            events.append(
+                {
+                    "ph": "X",
+                    "name": s.name,
+                    "pid": s.device,
+                    "tid": s.warp,
+                    "ts": s.start / 1000.0,
+                    "dur": max(s.end - s.start, 0) / 1000.0,
+                    "args": {"cycles": s.end - s.start},
+                }
+            )
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "clock": "virtual (1 cycle = 1 ns)",
+                "sample_every": self.sample_every,
+                "recorded_spans": len(self.spans),
+                "dropped_spans": self.dropped,
+                "event_counts": dict(sorted(self.counts.items())),
+            },
+        }
+
+    def write_chrome(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_chrome(), fh)
+
+    # ------------------------------------------------------------------ #
+    # Export: text flamegraph-style summary
+    # ------------------------------------------------------------------ #
+
+    def summary(self, width: int = 40) -> str:
+        """Aggregate per-name totals with proportional bars."""
+        if not self.counts:
+            return "trace: no spans recorded"
+        rows = sorted(
+            ((self.cycles.get(name, 0), self.counts[name], name) for name in self.counts),
+            reverse=True,
+        )
+        total = sum(c for c, _, _ in rows) or 1
+        name_w = max(len(name) for _, _, name in rows)
+        lines = [
+            f"{'span':<{name_w}}  {'cycles':>12}  {'count':>8}  {'share':>6}",
+        ]
+        for cyc, cnt, name in rows:
+            share = cyc / total
+            bar = "#" * max(1, int(round(share * width))) if cyc else ""
+            lines.append(
+                f"{name:<{name_w}}  {cyc:>12,}  {cnt:>8,}  {share:>6.1%}  {bar}"
+            )
+        if self.dropped:
+            lines.append(f"({self.dropped} spans dropped at max_spans={self.max_spans})")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: ``record`` is a pure no-op.
+
+    Hot paths hold this by default, so tracing-off adds a single method
+    call per instrumented site and records nothing.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(enabled=False, max_spans=0)
+
+    def record(self, name: str, warp: int, start: int, end: int, device: int = 0) -> None:
+        return None
+
+
+#: Shared module-level disabled tracer (stateless, safe to share).
+NULL_TRACER = NullTracer()

@@ -166,10 +166,12 @@ def plan_fingerprint(query: Union[QueryGraph, MatchingPlan]) -> str:
 
 
 #: Config fields excluded from the fingerprint: they cannot change what a
-#: request returns (cost model / tracing / event budget shift virtual
-#: timings only) or are serving-layer concerns injected per request
-#: (fault plan, retry policy).
-_CONFIG_FP_SKIP = frozenset({"cost", "fault_plan", "retry", "trace", "max_events"})
+#: request returns (cost model / tracing / observability / event budget
+#: shift virtual timings only) or are serving-layer concerns injected per
+#: request (fault plan, retry policy).
+_CONFIG_FP_SKIP = frozenset(
+    {"cost", "fault_plan", "retry", "trace", "max_events", "obs"}
+)
 
 
 def config_fingerprint(config: TDFSConfig) -> str:

@@ -1,65 +1,50 @@
-"""Lightweight service metrics: counters, gauges, and latency histograms.
+"""Service metrics, now published through the shared obs registry.
 
-No external dependencies and no background threads — a single lock guards
-everything, observations are O(1), and percentiles are computed lazily at
-``snapshot()`` time over a bounded sliding window of recent observations
-(so a long-lived service reports *recent* latency, not all-time latency).
+:class:`ServeMetrics` keeps its original API (``incr``/``get``/
+``observe_*``/``snapshot``/``render``) but every instrument lives in a
+:class:`repro.obs.Registry` built with ``threaded=True`` — the same
+substrate the engines publish into — so a serve deployment exports one
+consistent schema (and can dump it as influx line protocol via
+:meth:`ServeMetrics.line_protocol`).
+
+``Histogram`` here is the obs histogram specialized with millisecond
+latency buckets; percentiles stay exact over a bounded sliding window of
+recent observations, so a long-lived service reports *recent* latency,
+not all-time latency.
 """
 
 from __future__ import annotations
 
-import threading
 import time
-from collections import deque
 from typing import Optional
 
+from repro.obs import LineProtocolSink, Registry
+from repro.obs.registry import Histogram as _ObsHistogram
 
-class Histogram:
-    """Sliding-window histogram with lazy percentiles.
+#: Fixed bucket boundaries for latency histograms (milliseconds).
+LATENCY_BUCKETS_MS = (
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0,
+)
 
-    Keeps the last ``window`` observations; ``count``/``total`` track the
-    all-time totals so throughput math stays exact even after the window
-    wraps.
-    """
+#: Fixed bucket boundaries for batch-size histograms.
+BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
 
-    def __init__(self, window: int = 16384) -> None:
-        self._values: deque[float] = deque(maxlen=max(1, int(window)))
-        self.count = 0
-        self.total = 0.0
-        self.max = 0.0
 
-    def record(self, value: float) -> None:
-        value = float(value)
-        self._values.append(value)
-        self.count += 1
-        self.total += value
-        if value > self.max:
-            self.max = value
+class Histogram(_ObsHistogram):
+    """Obs histogram with serve defaults (ms buckets, big window)."""
 
-    @property
-    def mean(self) -> float:
-        """Mean over the sliding window."""
-        if not self._values:
-            return 0.0
-        return sum(self._values) / len(self._values)
-
-    def percentile(self, p: float) -> float:
-        """Window percentile via nearest-rank (``p`` in [0, 100])."""
-        if not self._values:
-            return 0.0
-        ordered = sorted(self._values)
-        rank = max(0, min(len(ordered) - 1, int(round(p / 100.0 * (len(ordered) - 1)))))
-        return ordered[rank]
-
-    def snapshot(self) -> dict:
-        return {
-            "count": self.count,
-            "mean": round(self.mean, 4),
-            "p50": round(self.percentile(50), 4),
-            "p95": round(self.percentile(95), 4),
-            "p99": round(self.percentile(99), 4),
-            "max": round(self.max, 4),
-        }
+    def __init__(
+        self,
+        window: int = 16384,
+        name: str = "",
+        buckets=LATENCY_BUCKETS_MS,
+        help: str = "",
+        lock=None,
+    ) -> None:
+        super().__init__(
+            name=name, buckets=buckets, window=window, help=help, lock=lock
+        )
 
 
 #: Counter names every snapshot reports (missing ones render as 0), so the
@@ -79,51 +64,57 @@ COUNTERS = (
     "graph_updates",
 )
 
+#: Registry namespace for every serve instrument.
+_PREFIX = "serve."
+
 
 class ServeMetrics:
     """Counters + histograms for one :class:`~repro.serve.MatchService`."""
 
-    def __init__(self, latency_window: int = 16384) -> None:
-        self._lock = threading.Lock()
-        self._counters: dict[str, int] = {}
-        self.latency_ms = Histogram(latency_window)
+    def __init__(
+        self,
+        latency_window: int = 16384,
+        registry: Optional[Registry] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else Registry(threaded=True)
+        self.latency_ms = self.registry.histogram(
+            _PREFIX + "latency_ms", buckets=LATENCY_BUCKETS_MS, window=latency_window
+        )
         """End-to-end wall latency (submit -> response) per completed request."""
-        self.queue_ms = Histogram(latency_window)
+        self.queue_ms = self.registry.histogram(
+            _PREFIX + "queue_wait_ms",
+            buckets=LATENCY_BUCKETS_MS,
+            window=latency_window,
+        )
         """Admission-queue wait per executed request."""
-        self.batch_size = Histogram(4096)
+        self.batch_size = self.registry.histogram(
+            _PREFIX + "batch_size", buckets=BATCH_BUCKETS, window=4096
+        )
         """Requests per micro-batch."""
-        self._queue_depth = 0
-        self._queue_depth_peak = 0
+        self._depth = self.registry.gauge(_PREFIX + "queue_depth")
         self._started = time.monotonic()
 
     # ------------------------------------------------------------------ #
 
     def incr(self, name: str, n: int = 1) -> None:
-        with self._lock:
-            self._counters[name] = self._counters.get(name, 0) + n
+        self.registry.counter(_PREFIX + name).inc(n)
 
     def get(self, name: str) -> int:
-        with self._lock:
-            return self._counters.get(name, 0)
+        counter = self.registry.get(_PREFIX + name)
+        return counter.value if counter is not None else 0
 
     def observe_latency(self, ms: float) -> None:
-        with self._lock:
-            self.latency_ms.record(ms)
+        self.latency_ms.observe(ms)
 
     def observe_queue_wait(self, ms: float) -> None:
-        with self._lock:
-            self.queue_ms.record(ms)
+        self.queue_ms.observe(ms)
 
     def observe_batch(self, size: int) -> None:
-        with self._lock:
-            self._counters["batches"] = self._counters.get("batches", 0) + 1
-            self.batch_size.record(size)
+        self.incr("batches")
+        self.batch_size.observe(size)
 
     def set_queue_depth(self, depth: int) -> None:
-        with self._lock:
-            self._queue_depth = depth
-            if depth > self._queue_depth_peak:
-                self._queue_depth_peak = depth
+        self._depth.set(depth)
 
     # ------------------------------------------------------------------ #
 
@@ -139,30 +130,39 @@ class ServeMetrics:
             return 0.0
         return self.get("completed") / uptime
 
+    def _counter_values(self) -> dict[str, int]:
+        """Every serve counter, prefix stripped, known names defaulted."""
+        values = {name: 0 for name in COUNTERS}
+        for inst in self.registry:
+            if inst.kind == "counter" and inst.name.startswith(_PREFIX):
+                values[inst.name[len(_PREFIX) :]] = inst.value
+        return values
+
     def snapshot(self) -> dict:
         """All metrics as one JSON-compatible dict."""
-        with self._lock:
-            counters = {name: self._counters.get(name, 0) for name in COUNTERS}
-            extra = {
-                k: v for k, v in self._counters.items() if k not in COUNTERS
-            }
-            snap = {
-                "uptime_s": round(time.monotonic() - self._started, 3),
-                "qps": round(self.qps_locked(counters["completed"]), 2),
-                "counters": {**counters, **extra},
-                "queue": {
-                    "depth": self._queue_depth,
-                    "peak_depth": self._queue_depth_peak,
-                },
-                "latency_ms": self.latency_ms.snapshot(),
-                "queue_wait_ms": self.queue_ms.snapshot(),
-                "batch_size": self.batch_size.snapshot(),
-            }
-        return snap
+        counters = self._counter_values()
+        return {
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "qps": round(self.qps_locked(counters["completed"]), 2),
+            "counters": counters,
+            "queue": {
+                "depth": self._depth.value,
+                "peak_depth": self._depth.peak,
+            },
+            "latency_ms": self.latency_ms.snapshot(),
+            "queue_wait_ms": self.queue_ms.snapshot(),
+            "batch_size": self.batch_size.snapshot(),
+        }
 
     def qps_locked(self, completed: int) -> float:
         uptime = time.monotonic() - self._started
         return completed / uptime if uptime > 0 else 0.0
+
+    def line_protocol(self, timestamp_ns: int = 0, tags: Optional[dict] = None) -> str:
+        """Dump every serve series as influx-style line protocol."""
+        sink = LineProtocolSink(measurement="repro_serve", tags=tags)
+        sink.emit(self.registry, timestamp_ns=timestamp_ns)
+        return sink.render()
 
     def render(self, cache_stats: Optional[dict] = None) -> str:
         """Human-readable metrics report (the ``repro serve`` output)."""

@@ -44,22 +44,43 @@ class VerificationReport:
     mismatches: list = field(default_factory=list)
     flagged: list = field(default_factory=list)
     skipped: list = field(default_factory=list)
+    reference_engine: str = "cpu"
+    seed: Optional[int] = None
+    """Generator seed of the (graph, query) case, when the caller supplied
+    one — lets a property-based harness reproduce the exact divergence."""
 
     @property
     def ok(self) -> bool:
         """True when no engine disagreed with the reference."""
         return not self.mismatches
 
+    def divergences(self) -> list[tuple[str, str, int, int]]:
+        """Divergent engine pairs: ``(engine, reference_engine, got, want)``.
+
+        Every mismatch is a disagreement between one engine and the
+        reference engine the expectation was derived from.
+        """
+        return [
+            (engine, self.reference_engine, got, want)
+            for engine, got, want in self.mismatches
+        ]
+
     def summary(self) -> str:
         status = "OK" if self.ok else "MISMATCH"
+        seed_note = f", seed={self.seed}" if self.seed is not None else ""
         parts = [
             f"[{status}] {self.graph_name}/{self.query_name}: "
-            f"{self.reference_count} instances (|Aut|={self.aut_size})"
+            f"{self.reference_count} instances (|Aut|={self.aut_size}"
+            f"{seed_note})"
         ]
         for engine, result in self.results.items():
             parts.append(f"  {engine}: {result.error or result.count}")
-        for engine, got, want in self.mismatches:
-            parts.append(f"  !! {engine} reported {got}, expected {want}")
+        for engine, ref, got, want in self.divergences():
+            where = f" (seed {self.seed})" if self.seed is not None else ""
+            parts.append(
+                f"  !! {engine} vs {ref} diverged: "
+                f"{engine} reported {got}, {ref} expects {want}{where}"
+            )
         for engine, why in self.flagged:
             parts.append(f"  -- {engine} flagged: {why}")
         return "\n".join(parts)
@@ -70,8 +91,13 @@ def verify_engines(
     query: Union[QueryGraph, MatchingPlan, str],
     config: Optional[TDFSConfig] = None,
     engines: Optional[list[str]] = None,
+    seed: Optional[int] = None,
 ) -> VerificationReport:
-    """Run ``query`` through every engine and cross-check the counts."""
+    """Run ``query`` through every engine and cross-check the counts.
+
+    ``seed``, when given, is recorded on the report and rendered with any
+    divergence so property-based callers get a reproducible pointer.
+    """
     if isinstance(query, str):
         from repro.query.patterns import get_pattern
 
@@ -90,6 +116,7 @@ def verify_engines(
         query_name=pattern.name,
         reference_count=reference,
         aut_size=plan.aut_size,
+        seed=seed,
     )
 
     todo = engines or list(EXACT_ENGINES + EMBEDDING_ENGINES) + ["stmatch"]

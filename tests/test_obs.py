@@ -1,0 +1,380 @@
+"""Tests for the unified observability layer (``repro.obs``).
+
+Covers the three instrument kinds, the registry, the span tracer with its
+Chrome ``trace_event`` export, the pull-based sinks, and — most
+importantly — the engine integration contract:
+
+* every ``MatchResult`` carries a ``metrics`` snapshot whose
+  steal/timeout counters exactly equal the result's own fields;
+* the tracing-disabled default changes *nothing* about the simulation
+  (identical event counts and elapsed cycles, zero spans recorded);
+* ``repro profile``'s trace output is valid Chrome JSON with per-warp
+  match/steal/intersect spans.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import Observability, Registry, TDFSConfig, Tracer, match
+from repro.core.engine import TDFSEngine
+from repro.obs import (
+    LineProtocolSink,
+    MemorySink,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    TSVSink,
+)
+from repro.obs.registry import Counter, Gauge, Histogram
+from repro.query.patterns import get_pattern
+
+
+# --------------------------------------------------------------------- #
+# Instruments
+# --------------------------------------------------------------------- #
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        assert c.items() == [("x", 5)]
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_tracks_peak(self):
+        g = Gauge("depth")
+        g.set(3)
+        g.inc(4)
+        g.dec(6)
+        assert g.value == 1
+        assert g.peak == 7
+        assert dict(g.items()) == {"depth": 1, "depth.peak": 7}
+
+    def test_set_peak_only_raises(self):
+        g = Gauge("d")
+        g.set(5)
+        g.set_peak(2)
+        assert g.peak == 5
+        g.set_peak(9)
+        assert g.peak == 9
+
+
+class TestHistogram:
+    def test_window_percentiles_exact(self):
+        h = Histogram("lat", window=1000)
+        for v in range(1, 101):
+            h.observe(v)
+        assert h.percentile(50) in (50.0, 51.0)  # nearest-rank
+        assert h.percentile(95) == pytest.approx(95.0)
+        assert h.count == 100
+        assert h.max == 100
+
+    def test_bucket_rows_cumulative(self):
+        h = Histogram("cyc", buckets=[1.0, 10.0, 100.0])
+        for v in (0.5, 5, 5, 50, 5000):
+            h.observe(v)
+        rows = dict(h.bucket_rows())
+        assert rows[1.0] == 1
+        assert rows[10.0] == 3
+        assert rows[100.0] == 4
+        assert rows[float("inf")] == 5
+
+    def test_snapshot_schema(self):
+        h = Histogram("x")
+        h.observe(2.0)
+        snap = h.snapshot()
+        assert set(snap) == {"count", "mean", "p50", "p95", "p99", "max"}
+
+    def test_needs_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("x", buckets=[])
+
+
+class TestRegistry:
+    def test_get_or_create_shares_by_name(self):
+        reg = Registry()
+        assert reg.counter("a") is reg.counter("a")
+        assert len(reg) == 1
+        assert "a" in reg
+
+    def test_kind_mismatch_raises(self):
+        reg = Registry()
+        reg.counter("a")
+        with pytest.raises(ValueError):
+            reg.gauge("a")
+
+    def test_flat_schema(self):
+        reg = Registry()
+        reg.counter("c").inc(2)
+        g = reg.gauge("g")
+        g.set(4)
+        reg.histogram("h").observe(1.5)
+        flat = reg.flat()
+        assert flat["c"] == 2
+        assert flat["g"] == 4
+        assert flat["g.peak"] == 4
+        assert flat["h.count"] == 1
+        assert list(flat) == sorted(flat)
+
+    def test_snapshot_groups_by_kind(self):
+        reg = Registry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(1)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 1}
+        assert snap["gauges"]["g"] == {"value": 1, "peak": 1}
+
+
+# --------------------------------------------------------------------- #
+# Tracer
+# --------------------------------------------------------------------- #
+
+
+class TestTracer:
+    def test_records_spans(self):
+        t = Tracer()
+        t.record("match", warp=3, start=100, end=250, device=1)
+        assert len(t) == 1
+        span = t.spans[0]
+        assert span == Span("match", 3, 100, 250, 1)
+        assert span.duration == 150
+        assert t.counts["match"] == 1
+        assert t.cycles["match"] == 150
+
+    def test_sampling_keeps_exact_counts(self):
+        t = Tracer(sample_every=10)
+        for i in range(100):
+            t.record("x", 0, i, i + 1)
+        assert t.counts["x"] == 100
+        assert t.cycles["x"] == 100
+        assert len(t.spans) == 10  # 1 in 10 stored
+
+    def test_max_spans_drops_but_counts(self):
+        t = Tracer(max_spans=5)
+        for i in range(8):
+            t.record("x", 0, i, i + 1)
+        assert len(t.spans) == 5
+        assert t.dropped == 3
+        assert t.counts["x"] == 8
+
+    def test_null_tracer_is_pure_noop(self):
+        n = NullTracer()
+        n.record("x", 0, 0, 10)
+        assert len(n) == 0
+        assert n.counts == {}
+        assert not n.enabled
+        assert isinstance(NULL_TRACER, NullTracer)
+
+    def test_chrome_export_shape(self):
+        t = Tracer()
+        t.record("match", 2, 1000, 4000, device=0)
+        t.record("steal", 5, 2000, 2500, device=1)
+        doc = t.to_chrome()
+        # Valid JSON round-trip.
+        doc = json.loads(json.dumps(doc))
+        events = doc["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        spans = [e for e in events if e["ph"] == "X"]
+        assert {m["pid"] for m in meta} == {0, 1}
+        assert len(spans) == 2
+        m = next(e for e in spans if e["name"] == "match")
+        assert m["pid"] == 0 and m["tid"] == 2
+        assert m["ts"] == 1.0 and m["dur"] == 3.0  # cycles/1000 = us
+        assert m["args"]["cycles"] == 3000
+        assert doc["otherData"]["event_counts"] == {"match": 1, "steal": 1}
+
+    def test_write_chrome(self, tmp_path):
+        t = Tracer()
+        t.record("x", 0, 0, 10)
+        out = tmp_path / "trace.json"
+        t.write_chrome(str(out))
+        doc = json.loads(out.read_text())
+        assert any(e["name"] == "x" for e in doc["traceEvents"])
+
+    def test_summary_text(self):
+        t = Tracer()
+        t.record("match", 0, 0, 900)
+        t.record("steal", 0, 0, 100)
+        text = t.summary()
+        assert "match" in text and "steal" in text
+        assert "90.0%" in text
+        assert Tracer().summary() == "trace: no spans recorded"
+
+
+# --------------------------------------------------------------------- #
+# Sinks
+# --------------------------------------------------------------------- #
+
+
+class TestSinks:
+    def _registry(self):
+        reg = Registry()
+        reg.counter("warp.steals").inc(7)
+        reg.gauge("queue.occupancy").set(3)
+        return reg
+
+    def test_memory_sink(self):
+        sink = MemorySink()
+        snap = sink.emit(self._registry())
+        assert sink.last is snap
+        assert snap["warp.steals"] == 7
+
+    def test_tsv_sink(self, tmp_path):
+        out = tmp_path / "m.tsv"
+        sink = TSVSink(str(out), comment="unit test")
+        sink.emit(self._registry())
+        lines = out.read_text().splitlines()
+        assert lines[0] == "# unit test"
+        assert lines[1] == "metric\tvalue"
+        assert "warp.steals\t7" in lines
+
+    def test_line_protocol_sink(self):
+        sink = LineProtocolSink(tags={"engine": "t dfs"})
+        batch = sink.emit(self._registry(), timestamp_ns=123)
+        steal = next(l for l in batch if "warp.steals" in l)
+        assert steal == "repro,metric=warp.steals,engine=t\\ dfs value=7 123"
+        assert sink.render().endswith("\n")
+
+
+class TestObservabilityBundle:
+    def test_default_is_null_tracer(self):
+        obs = Observability()
+        assert not obs.tracing
+        assert obs.tracer is NULL_TRACER
+
+    def test_tracing_on(self):
+        obs = Observability(tracing=True, sample_every=3)
+        assert obs.tracing
+        assert obs.tracer.sample_every == 3
+
+    def test_flat_delegates(self):
+        obs = Observability()
+        obs.registry.counter("c").inc()
+        assert obs.flat() == {"c": 1}
+
+
+# --------------------------------------------------------------------- #
+# Engine integration (the acceptance contract)
+# --------------------------------------------------------------------- #
+
+#: Forces timeout decompositions on the test graphs: τ far below the
+#: default so the straggler subtrees split into Q_task.
+STEAL_CFG = TDFSConfig(num_warps=8, tau_cycles=500, chunk_size=2)
+
+
+class TestEngineMetrics:
+    def test_result_carries_metrics_snapshot(self, small_plc):
+        result = TDFSEngine(TDFSConfig(num_warps=8)).run(
+            small_plc, get_pattern("P1")
+        )
+        m = result.metrics
+        assert m is not None
+        assert m["engine.matches"] == result.count
+        assert m["warp.timeouts"] == result.timeouts
+        assert m["warp.steals"] == result.steals
+        assert m["sim.events"] > 0
+        assert m["queue.enqueued"] == m["queue.dequeued"]
+
+    def test_metrics_match_result_under_steals(self, straggler_graph):
+        result = TDFSEngine(STEAL_CFG).run(straggler_graph, get_pattern("P3"))
+        assert result.timeouts > 0  # the config must actually decompose
+        m = result.metrics
+        assert m["warp.timeouts"] == result.timeouts
+        assert m["warp.steals"] == result.steals
+        assert m["engine.intersections"] == result.intersections > 0
+
+    def test_caller_obs_accumulates_across_runs(self, small_plc):
+        obs = Observability()
+        cfg = TDFSConfig(num_warps=8, obs=obs)
+        r1 = TDFSEngine(cfg).run(small_plc, get_pattern("P1"))
+        r2 = TDFSEngine(cfg).run(small_plc, get_pattern("P1"))
+        assert obs.flat()["engine.matches"] == r1.count + r2.count
+
+    def test_tracing_off_changes_nothing(self, straggler_graph):
+        """Zero-overhead contract: an armed-but-not-tracing Observability
+        yields the byte-identical simulation (event counts, cycles, counts)
+        as the default path, and records no spans."""
+        plain = TDFSEngine(STEAL_CFG).run(straggler_graph, get_pattern("P3"))
+        obs = Observability(tracing=False)
+        instrumented = TDFSEngine(STEAL_CFG.replace(obs=obs)).run(
+            straggler_graph, get_pattern("P3")
+        )
+        assert instrumented.count == plain.count
+        assert instrumented.elapsed_cycles == plain.elapsed_cycles
+        assert instrumented.timeouts == plain.timeouts
+        assert (
+            instrumented.metrics["sim.events"] == plain.metrics["sim.events"]
+        )
+        assert len(obs.tracer) == 0
+
+    def test_tracing_on_does_not_perturb_the_simulation(self, straggler_graph):
+        plain = TDFSEngine(STEAL_CFG).run(straggler_graph, get_pattern("P3"))
+        obs = Observability(tracing=True)
+        traced = TDFSEngine(STEAL_CFG.replace(obs=obs)).run(
+            straggler_graph, get_pattern("P3")
+        )
+        assert traced.count == plain.count
+        assert traced.elapsed_cycles == plain.elapsed_cycles
+        assert traced.metrics["sim.events"] == plain.metrics["sim.events"]
+
+    def test_traced_run_has_per_warp_spans(self, straggler_graph, tmp_path):
+        """The `repro profile --trace` acceptance shape, driven directly."""
+        obs = Observability(tracing=True)
+        result = TDFSEngine(STEAL_CFG.replace(obs=obs)).run(
+            straggler_graph, get_pattern("P3")
+        )
+        names = set(obs.tracer.counts)
+        assert {"match", "intersect"} <= names
+        assert result.timeouts > 0 and "steal" in names
+        # Steal spans account for every decomposition and work steal.
+        assert obs.tracer.counts["steal"] == result.timeouts + result.steals
+        # Spans are attributed to real warps of this run.
+        warps = {s.warp for s in obs.tracer.spans}
+        assert warps <= set(range(STEAL_CFG.num_warps))
+        assert len(warps) > 1
+        # And the export is valid Chrome trace JSON.
+        out = tmp_path / "trace.json"
+        obs.tracer.write_chrome(str(out))
+        doc = json.loads(out.read_text())
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert {e["name"] for e in spans} == names
+        assert all(e["dur"] >= 0 and e["ts"] >= 0 for e in spans)
+
+    def test_reuse_hits_counted(self, small_plc):
+        result = TDFSEngine(TDFSConfig(num_warps=8)).run(
+            small_plc, get_pattern("P8")  # has reusable intersections
+        )
+        assert result.metrics["engine.reuse_hits"] == result.reuse_hits
+
+    def test_metrics_excluded_from_cache_fingerprint(self):
+        from repro.serve.cache import config_fingerprint
+
+        base = TDFSConfig(num_warps=8)
+        with_obs = base.replace(obs=Observability())
+        assert config_fingerprint(base) == config_fingerprint(with_obs)
+
+    def test_match_api_passes_obs_through(self, small_plc):
+        obs = Observability()
+        result = match(
+            small_plc,
+            get_pattern("P1"),
+            config=TDFSConfig(num_warps=8, obs=obs),
+        )
+        assert result.metrics == obs.flat()
+
+    def test_to_dict_includes_metrics(self, small_plc):
+        result = TDFSEngine(TDFSConfig(num_warps=8)).run(
+            small_plc, get_pattern("P1")
+        )
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["metrics"]["engine.matches"] == result.count
