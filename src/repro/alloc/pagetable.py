@@ -126,6 +126,54 @@ class PagedLevel:
                 freed += 1
         return freed * 40  # free-list push per page
 
+    def plan_writes(self, sizes: np.ndarray, cost: CostModel):
+        """Per-write cycles for a batch of ``write()`` calls, or ``None``.
+
+        Exact emulation of running ``write(values_j)`` for each size in
+        order: page allocations are charged on the write that first crosses
+        each page boundary (without release, allocated pages only grow and
+        always form a prefix).  Declines when the sequence is not purely
+        cumulative: release enabled (frees interleave with writes), a write
+        would exhaust the page table (must raise on that write), or the
+        arena cannot cover the net new pages (must OOM on the right write).
+        """
+        if self.release_pages:
+            return None
+        page_ints = self.allocator.page_ints
+        needed = (sizes + page_ints - 1) // page_ints
+        held = self.table.num_allocated()
+        high = int(needed.max()) if needed.size else 0
+        if high > self.table.size or high - held > self.allocator.available:
+            return None
+        batches = (np.maximum(sizes, 1) + WARP_SIZE - 1) // WARP_SIZE
+        if high <= held:
+            # Warm level: the high-watermark pages already exist, no write
+            # in the sequence allocates.
+            return batches * (cost.write_batch + cost.page_check)
+        run = np.maximum(np.maximum.accumulate(needed), held)
+        new_pages = np.diff(np.concatenate(([held], run)))
+        return new_pages * cost.page_alloc + batches * (
+            cost.write_batch + cost.page_check
+        )
+
+    def commit_writes(
+        self, k: int, sizes: np.ndarray, values: np.ndarray
+    ) -> None:
+        """Apply the end state of the first ``k`` planned writes.
+
+        ``values`` is the contents of write ``k - 1``; pages grow to the
+        high-watermark of the committed prefix (exactly what the per-write
+        sequence would have allocated).
+        """
+        page_ints = self.allocator.page_ints
+        high = int(sizes[:k].max())
+        needed = (high + page_ints - 1) // page_ints
+        for idx in range(self.table.num_allocated(), needed):
+            self.table.set_page(idx, self.allocator.malloc_page())
+        self.data = values
+        self.raw = values
+        self.length = int(values.size)
+
     def read_cost(self, n: int, cost: CostModel) -> int:
         """Charge for reading ``n`` elements through the page table."""
         batches = (max(n, 1) + WARP_SIZE - 1) // WARP_SIZE

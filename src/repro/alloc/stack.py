@@ -32,7 +32,14 @@ class OverflowPolicy(enum.Enum):
 
 
 class Level(Protocol):
-    """Interface shared by paged and array stack levels."""
+    """Interface shared by paged and array stack levels.
+
+    ``plan_writes``/``commit_writes`` support the vectorized kernel
+    backend's batched leaf expansion: planning returns the exact per-write
+    cycle charges a sequence of ``write()`` calls would produce (or ``None``
+    when the sequence has effects that must run write-by-write — overflow,
+    page release, arena exhaustion), and committing applies the end state
+    of the first ``k`` writes in one step."""
 
     length: int
     raw: np.ndarray
@@ -41,6 +48,10 @@ class Level(Protocol):
     def read_cost(self, n: int, cost: CostModel) -> int: ...
     def values(self) -> np.ndarray: ...
     def memory_bytes(self) -> int: ...
+    def plan_writes(self, sizes: np.ndarray, cost: CostModel): ...
+    def commit_writes(
+        self, k: int, sizes: np.ndarray, values: np.ndarray
+    ) -> None: ...
 
 
 class ArrayLevel:
@@ -80,6 +91,26 @@ class ArrayLevel:
     def read_cost(self, n: int, cost: CostModel) -> int:
         batches = (max(n, 1) + WARP_SIZE - 1) // WARP_SIZE
         return batches * cost.load_batch
+
+    def plan_writes(self, sizes: np.ndarray, cost: CostModel):
+        """Per-write cycles for a batch of ``write()`` calls, or ``None``.
+
+        Declines whenever any write would overflow: both the raise and the
+        silent-truncation policies have per-write effects (exception /
+        ``overflows`` bump + shortened data) that must run write-by-write.
+        """
+        if sizes.size and int(sizes.max()) > self.capacity:
+            return None
+        batches = (np.maximum(sizes, 1) + WARP_SIZE - 1) // WARP_SIZE
+        return batches * cost.write_batch
+
+    def commit_writes(
+        self, k: int, sizes: np.ndarray, values: np.ndarray
+    ) -> None:
+        """Apply the end state of the first ``k`` planned writes."""
+        self.data = values
+        self.raw = values
+        self.length = int(values.size)
 
     def values(self) -> np.ndarray:
         return self.data[: self.length]

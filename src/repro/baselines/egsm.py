@@ -38,6 +38,10 @@ class EGSMJob(MatchJob):
         super().__init__(**kwargs)
         self.index = index
         self._prune = self.graph.is_labeled and self.plan.is_labeled
+        # Label-pruned trie reads depend on the target position, so batched
+        # varying-list kernels and intersection caching must not assume the
+        # plain CSR adjacency (see MatchJob.plain_adjacency).
+        self.plain_adjacency = not self._prune
 
     def adjacency(self, v: int, pos: int) -> np.ndarray:
         """Read neighbors through the trie, pre-pruned by the target label."""

@@ -17,6 +17,12 @@ Design choices reproduced from the paper's description:
   independent set operation instead of being fused into the intersection —
   "more rounds of set operations to compute the candidate set".
 * Symmetry breaking is performed (like T-DFS, unlike EGSM).
+
+STMatch shares the warp matcher's kernel-backend hook (:mod:`repro.kernels`):
+its ``stmatch_removal`` set-difference charge and fixed-capacity truncation
+are reproduced by the vectorized backend (which re-scans truncated levels so
+the wrong counts stay *identically* wrong), so the kernel-conformance suite
+covers this engine too.
 """
 
 from __future__ import annotations

@@ -101,12 +101,16 @@ def run_cell(
     config: Optional[TDFSConfig] = None,
     num_labels: Optional[int] = None,
     chaos_seed: Optional[int] = None,
+    record_as: Optional[str] = None,
 ) -> MatchResult:
     """Run one experiment cell; failures become result markers, not crashes.
 
     ``chaos_seed`` (or the ``REPRO_FAULT_SEED`` environment variable) arms
     the deterministic chaos harness for the cell: the default seeded fault
     mix plus the resilient retry policy (see :mod:`repro.faults`).
+    ``record_as`` overrides the engine label in the session-metrics TSV —
+    ablations that sweep a config knob under one engine use it to keep
+    their variants' rows distinct (e.g. ``tdfs[scalar]``).
     """
     graph = load_dataset(dataset, num_labels=num_labels)
     spec = DATASETS[dataset]
@@ -125,7 +129,7 @@ def run_cell(
         pattern = get_pattern(pattern)
     try:
         result = match(graph, pattern, engine=engine, config=cfg)
-        record_cell_metrics(dataset, pattern.name, engine, result)
+        record_cell_metrics(dataset, pattern.name, record_as or engine, result)
         return result
     except UnsupportedError:
         result = MatchResult(
@@ -147,6 +151,26 @@ def run_cell(
         )
         result.error = f"ERR ({type(exc).__name__})"
         return result
+
+
+#: Kernel-backend ablation variants (see ``benchmarks/bench_ablation_kernels``):
+#: label → ``TDFSConfig.kernel_backend`` value.  All three are conformance-
+#: tested to identical counts; scalar vs vectorized also charge identical
+#: virtual cycles, while the cache variant *improves* simulated time (hits
+#: charge ``copy_cost``).
+KERNEL_VARIANTS: tuple[tuple[str, str], ...] = (
+    ("scalar", "scalar"),
+    ("vectorized", "vectorized"),
+    ("vectorized+cache", "vectorized+cache"),
+)
+
+
+def kernel_variant_config(
+    backend: str, base: Optional[TDFSConfig] = None
+) -> TDFSConfig:
+    """Cell config for one kernel-backend ablation variant."""
+    cfg = base or TDFSConfig()
+    return cfg.replace(kernel_backend=backend)
 
 
 @dataclass

@@ -42,6 +42,7 @@ from typing import Optional, Sequence
 from repro.core.config import StackMode, Strategy, TDFSConfig
 from repro.core.engine import available_engines, make_engine, match
 from repro.errors import ReproError
+from repro.kernels import available_backends
 from repro.graph.analysis import compute_stats
 from repro.graph.datasets import DATASETS, load_dataset
 from repro.query.patterns import get_pattern, pattern_description, pattern_names
@@ -86,6 +87,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         num_gpus=args.gpus,
         enable_reuse=not args.no_reuse,
         enable_edge_filter=not args.no_edge_filter,
+        kernel_backend=args.kernel_backend,
+        kernel_cache_entries=args.kernel_cache,
     )
     if args.tau_us is not None:
         config = config.replace(tau_cycles=max(1, int(args.tau_us * 1000)))
@@ -380,6 +383,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_p.add_argument("--no-reuse", action="store_true")
     run_p.add_argument("--no-edge-filter", action="store_true")
+    run_p.add_argument(
+        "--kernel-backend", default="vectorized",
+        choices=list(available_backends()),
+        help="candidate-computation kernel (conformance-tested: identical "
+             "counts and virtual cycles, different host wall-clock)",
+    )
+    run_p.add_argument(
+        "--kernel-cache", type=int, default=0, metavar="N",
+        help="intersection-cache entries (0 = backend default)",
+    )
     run_p.add_argument("-v", "--verbose", action="store_true")
     run_p.set_defaults(func=_cmd_run)
 

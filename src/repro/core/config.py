@@ -10,12 +10,13 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass, field, replace
-from typing import Optional, TYPE_CHECKING
+from typing import Optional, TYPE_CHECKING, Union
 
 from repro.errors import ReproError
 
 if TYPE_CHECKING:  # avoid a runtime import cycle (faults → … → config)
     from repro.faults.plan import FaultPlan, RetryPolicy
+    from repro.kernels import KernelBackend
     from repro.obs import Observability
 from repro.gpusim.costmodel import CostModel, CYCLES_PER_MS, DEFAULT_COST_MODEL
 from repro.gpusim.device import DEFAULT_NUM_WARPS
@@ -94,6 +95,16 @@ class TDFSConfig:
     new_kernel_fanout: int = 96
     """Fanout threshold that triggers a child kernel (NEW_KERNEL only)."""
 
+    kernel_backend: Union[str, "KernelBackend"] = "vectorized"
+    """Candidate-computation kernel (see :mod:`repro.kernels`): a backend
+    name (``"scalar"``, ``"vectorized"``, ``"vectorized+cache"``) or a
+    constructed :class:`~repro.kernels.KernelBackend` instance — pass an
+    instance to share its intersection cache across runs.  All backends are
+    conformance-tested to identical counts and cycle charges."""
+    kernel_cache_entries: int = 0
+    """Bounded LRU intersection-cache size in entries (0 disables; the
+    ``"vectorized+cache"`` backend name enables a default-sized one)."""
+
     device_memory: Optional[int] = None
     """Device memory budget in bytes; ``None`` = dataset default."""
 
@@ -131,6 +142,16 @@ class TDFSConfig:
             raise ReproError("num_gpus must be >= 1")
         if self.tau_cycles <= 0:
             raise ReproError("tau_cycles must be positive; use no_timeout()")
+        if self.kernel_cache_entries < 0:
+            raise ReproError("kernel_cache_entries must be >= 0")
+        if isinstance(self.kernel_backend, str):
+            from repro.kernels import BACKEND_NAMES
+
+            if self.kernel_backend not in BACKEND_NAMES:
+                raise ReproError(
+                    f"unknown kernel backend {self.kernel_backend!r}; "
+                    f"available: {', '.join(BACKEND_NAMES)}"
+                )
 
     @property
     def tau_ms(self) -> float:

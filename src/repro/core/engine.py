@@ -34,6 +34,7 @@ from repro.errors import (
 from repro.gpusim.device import VirtualGPU
 from repro.graph.csr import CSRGraph
 from repro.graph.datasets import DEFAULT_DEVICE_MEMORY
+from repro.kernels import resolve_backend
 from repro.obs import Observability
 from repro.query.pattern import QueryGraph
 from repro.query.plan import MatchingPlan, compile_plan
@@ -501,6 +502,10 @@ class TDFSEngine:
             factory = array_level_factory(capacity, policy)
             child_stack_bytes = per_warp
 
+        # One backend per attempt when configured by name; a constructed
+        # KernelBackend instance in the config passes through, sharing its
+        # intersection cache across runs (and with the serve layer).
+        backend = resolve_backend(cfg.kernel_backend, cfg.kernel_cache_entries)
         job = self._make_job(
             graph=graph,
             plan=plan,
@@ -509,6 +514,7 @@ class TDFSEngine:
             edges=edges,
             queue=queue,
             level_factory=factory,
+            backend=backend,
             prefiltered=prefiltered,
             child_stack_bytes=child_stack_bytes,
             prefix_width=prefix_width,
@@ -570,6 +576,9 @@ class TDFSEngine:
         reg.counter("engine.matches").inc(job.count)
         reg.counter("engine.intersections").inc(job.intersections)
         reg.counter("engine.reuse_hits").inc(job.reuse_hits)
+        if backend.cache is not None:
+            reg.counter("kernel.cache_hits").inc(job.cache_hits)
+            reg.counter("kernel.cache_misses").inc(job.cache_misses)
         reg.counter("engine.kernel_launches").inc(gpu.kernel_launches)
         reg.counter("warp.timeouts").inc(agg.timeouts)
         reg.counter("warp.steals").inc(agg.steals)

@@ -23,7 +23,11 @@ def intersect_sorted(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     if a.size > b.size:
         a, b = b, a
     pos = np.searchsorted(b, a)
-    pos[pos == b.size] = b.size - 1
+    # Elements of ``a`` beyond ``b.max()`` probe index ``b.size`` — clamp
+    # them onto the last slot explicitly.  The follow-up equality mask then
+    # rejects them (``b[-1] != a_i`` by construction), so out-of-range
+    # probes can never alias onto a spurious hit.
+    np.minimum(pos, b.size - 1, out=pos)
     mask = b[pos] == a
     return a[mask].astype(np.int32, copy=False)
 

@@ -39,6 +39,7 @@ from repro.core.intersect import intersect_sorted
 from repro.errors import IllegalAccessError
 from repro.gpusim.device import VirtualGPU, Warp
 from repro.graph.csr import CSRGraph
+from repro.kernels import KernelBackend, resolve_backend
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.query.plan import MatchingPlan
 from repro.alloc.stack import WarpStack, LevelFactory
@@ -124,6 +125,7 @@ class MatchJob:
         extra_groups: Optional[list] = None,
         tracer: Optional[Tracer] = None,
         device: int = 0,
+        backend: Optional[KernelBackend] = None,
     ) -> None:
         self.graph = graph
         self.plan = plan
@@ -154,6 +156,25 @@ class MatchJob:
         #: Set-operation accounting (published into the obs registry).
         self.intersections = 0
         self.reuse_hits = 0
+        #: Kernel backend (see :mod:`repro.kernels`): computes candidate
+        #: sets, optionally batched per sync window and/or cached.
+        self.backend = (
+            backend
+            if backend is not None
+            else resolve_backend(
+                config.kernel_backend, config.kernel_cache_entries
+            )
+        )
+        self.backend.begin_run(graph)
+        #: Whether :meth:`adjacency` returns plain CSR slices.  EGSM's
+        #: label-pruned CT-index reads clear this, which disables the
+        #: vectorized varying-list path and intersection caching (their
+        #: results would depend on the target position's label).
+        self.plain_adjacency = True
+        #: Intersection-cache accounting for this run (delta counters; the
+        #: cache object itself keeps cumulative stats across runs).
+        self.cache_hits = 0
+        self.cache_misses = 0
         #: Recovered work groups ``(rows, width)`` fed back into the warps on
         #: a resume run (see :mod:`repro.faults.recovery`).  Consumed after
         #: ``edges`` with the same chunked fetch protocol.
@@ -482,6 +503,11 @@ class MatchJob:
         launched = yield from self._fill(warp, st, pos)
         if launched:
             return
+        # Smallest batch the backend would accept at the leaf for this
+        # item's shape (0 = never); gates the per-candidate block offers so
+        # declined shapes/sizes cost nothing.  Computed lazily — only items
+        # that reach the pre-leaf level pay for it.
+        block_min = -1
         while True:
             st.nodes += 1
             if st.nodes >= SYNC_INTERVAL:
@@ -506,6 +532,22 @@ class MatchJob:
                         continue
                     f = st.filtered[pos]
                     i = st.iters[pos]
+                if (
+                    pos + 1 == k - 1
+                    and self.backend.batched
+                    and not self.collect_limit
+                ):
+                    if block_min < 0:
+                        block_min = self.backend.block_threshold(
+                            self, st, pos + 1
+                        )
+                    if (
+                        block_min
+                        and min(len(f) - i, SYNC_INTERVAL - st.nodes)
+                        >= block_min
+                        and self._leaf_block(warp, st, pos, f, i)
+                    ):
+                        continue
                 v = int(f[i])
                 st.iters[pos] = i + 1
                 st.path[pos] = v
@@ -539,6 +581,127 @@ class MatchJob:
                 if pos == prefix_len:
                     return
                 pos -= 1
+
+    def _leaf_block(
+        self, warp: Warp, st: RunState, pos: int, f: np.ndarray, i: int
+    ) -> bool:
+        """Vectorized leaf expansion of one sync window (backend batched).
+
+        Phase 1 (the backend) computes raw sets, filters, leaf counts and
+        cycle charges for up to ``SYNC_INTERVAL - st.nodes`` candidates in
+        one NumPy pass; phase 2 (this loop) replays them one candidate at a
+        time — real stack writes (so paged-allocator state and truncation
+        stay exact), real timeout checks against ``warp.now``, scalar-order
+        charges — which keeps simulated time bit-identical to the scalar
+        backend.  The window never crosses a sync point, so thieves and the
+        DES scheduler observe the same states they would under scalar.
+
+        Returns False (caller falls back to the per-candidate path) when
+        the backend declines the batch shape.
+        """
+        nxt = pos + 1
+        limit = min(len(f) - i, SYNC_INTERVAL - st.nodes)
+        block = self.backend.leaf_block(self, st, nxt, f[i : i + limit])
+        if block is None:
+            return False
+        cost = self.cost
+        level = st.stack.level(nxt)
+        timeout_live = (
+            self.strategy is Strategy.TIMEOUT
+            and self.queue is not None
+            and pos == 2
+            and st.item_prefix == 2
+        )
+        cands = block.candidates
+        offsets = block.offsets
+        if (
+            block.sizes is not None
+            and self.tracer is NULL_TRACER
+            and self.config.fault_plan is None
+        ):
+            # Bulk phase 2: when nothing can interrupt the window — no
+            # tracer spans to record, no injected faults, and the level can
+            # plan the whole write sequence without overflow/OOM — the
+            # per-candidate replay collapses to array sums.  The timeout
+            # break index falls out of the charge prefix-sums: candidate j
+            # is processed iff the cycles accrued before it fit the slack.
+            write_cycles = level.plan_writes(block.sizes, cost)
+            if write_cycles is not None:
+                totals = (
+                    cost.step
+                    + block.pre_cycles
+                    + write_cycles
+                    + block.leaf_cycles
+                )
+                k = block.count
+                if timeout_live:
+                    cum = np.cumsum(totals)
+                    slack = self.tau - (warp.now - st.t0)
+                    k = min(
+                        k, int(np.searchsorted(cum, slack, side="right")) + 1
+                    )
+                    charge = int(cum[k - 1])
+                else:
+                    charge = int(totals.sum())
+                st.iters[pos] = i + k
+                st.path[pos] = int(cands[k - 1])
+                if block.fixed_raw is not None:
+                    last = block.fixed_raw
+                else:
+                    last = block.values[offsets[k - 1] : offsets[k]]
+                level.commit_writes(k, block.sizes, last)
+                warp.charge(charge)
+                self._emit(warp, int(block.leaf_counts[:k].sum()))
+                # k - 1 node ticks: the first candidate's tick was taken by
+                # the caller, and a timeout break gives its tick back.
+                st.nodes += k - 1
+                self.intersections += block.intersections_per_cand * k
+                self.reuse_hits += block.reuse_per_cand * k
+                return True
+        for j in range(block.count):
+            if j:
+                st.nodes += 1
+                if timeout_live and warp.now - st.t0 > self.tau:
+                    # Same decision point as the scalar loop top: give back
+                    # this candidate's node tick so the outer loop (which
+                    # re-increments, re-checks and decomposes the remainder)
+                    # sees exactly the scalar node count.
+                    st.nodes -= 1
+                    break
+            st.iters[pos] = i + j + 1
+            st.path[pos] = int(cands[j])
+            st.inflight = nxt  # level.write may abort mid-expansion
+            if block.fixed_raw is not None:
+                raw = block.fixed_raw
+            else:
+                raw = block.values[offsets[j] : offsets[j + 1]]
+            cycles = int(block.pre_cycles[j])
+            self.tracer.record(
+                "intersect", warp.wid, warp.now, warp.now + cycles, self.device
+            )
+            cycles += level.write(raw, cost)
+            if level.length != raw.size:
+                # A fixed-capacity level truncated: the precomputed counts
+                # cover the full set, so rescan what was actually stored
+                # (this is how STMatch's wrong counts arise — keep them
+                # identically wrong).
+                leaves, leaf_cycles = leaf_matches(
+                    self.graph,
+                    self.plan,
+                    st.path,
+                    level.values(),
+                    cost,
+                    self.config.stmatch_removal,
+                )
+                warp.charge(cost.step + cycles + leaf_cycles)
+                self._emit(warp, int(leaves.size))
+            else:
+                warp.charge(cost.step + cycles + int(block.leaf_cycles[j]))
+                self._emit(warp, int(block.leaf_counts[j]))
+            self.intersections += block.intersections_per_cand
+            self.reuse_hits += block.reuse_per_cand
+            st.inflight = None
+        return True
 
     def adjacency(self, v: int, pos: int) -> np.ndarray:
         """Adjacency-list read hook (EGSM routes this through its CT-index)."""
@@ -580,6 +743,7 @@ class MatchJob:
         cost = self.cost
         path = st.path
         entry = plan.reuse[pos]
+        key = None
         if (
             self.config.enable_reuse
             and entry.reuses
@@ -590,7 +754,21 @@ class MatchJob:
             for j in entry.remaining:
                 lists.append(self.adjacency(path[j], pos))
         else:
-            lists = [self.adjacency(path[j], pos) for j in plan.backward[pos]]
+            backs = plan.backward[pos]
+            if (
+                self.backend.cache is not None
+                and self.plain_adjacency
+                and 2 <= len(backs) <= 3
+            ):
+                # The vertex *set* determines the intersection, so tasks
+                # enumerating a shared ≤3-vertex prefix in any order hit
+                # one entry.  A hit charges copy_cost, like a reuse read.
+                key = tuple(sorted(path[j] for j in backs))
+                hit = self.backend.cache_get(self.graph, key)
+                if hit is not None:
+                    self.cache_hits += 1
+                    return hit, cost.copy_cost(hit.size)
+            lists = [self.adjacency(path[j], pos) for j in backs]
         if len(lists) == 1:
             arr = lists[0]
             return arr, cost.copy_cost(arr.size)
@@ -599,17 +777,22 @@ class MatchJob:
             a, b = lists
             if a.size > b.size:
                 a, b = b, a
-            return intersect_sorted(a, b), cost.intersect_cost(a.size, b.size)
-        lists.sort(key=lambda x: x.size)
-        a = lists[0]
-        cycles = 0
-        for b in lists[1:]:
-            self.intersections += 1
-            cycles += cost.intersect_cost(a.size, b.size)
-            a = intersect_sorted(a, b)
-            if a.size == 0:
-                break
-        return a, cycles
+            result = intersect_sorted(a, b)
+            cycles = cost.intersect_cost(a.size, b.size)
+        else:
+            lists.sort(key=lambda x: x.size)
+            result = lists[0]
+            cycles = 0
+            for b in lists[1:]:
+                self.intersections += 1
+                cycles += cost.intersect_cost(result.size, b.size)
+                result = intersect_sorted(result, b)
+                if result.size == 0:
+                    break
+        if key is not None:
+            self.cache_misses += 1
+            self.backend.cache_put(self.graph, key, result)
+        return result, cycles
 
     def _fill(
         self, warp: Warp, st: RunState, pos: int

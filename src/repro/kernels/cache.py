@@ -1,0 +1,171 @@
+"""Bounded LRU cache for backward-neighbor intersections.
+
+Timeout-steal sub-tasks share ≤3-vertex prefixes (a decomposed task is
+``(v1, v2, v3)``), so the warps that pick them up recompute the very same
+adjacency intersections their victim already produced.  The cache keys each
+result by ``(graph epoch, sorted backward-vertex tuple)`` — the vertex *set*
+determines the intersection, so tasks that enumerate the prefix in a
+different order still share one entry.
+
+Graph identity is tracked through *epochs* rather than raw ``id()`` values:
+the cache pins a strong reference to every graph it has entries for (in a
+bounded, LRU-ordered table), so a graph id can never be recycled by the
+allocator while its entries are live.  Replacing a graph — e.g.
+``serve.update_graph`` building a new :class:`~repro.graph.csr.CSRGraph` —
+yields a new epoch automatically, which makes stale reads impossible even
+without eager invalidation; :meth:`invalidate` exists for eager eviction.
+
+Cost accounting: a hit charges :meth:`CostModel.copy_cost` for the stored
+set (the warp bulk-copies it from global memory), exactly like the paper's
+stack-reuse optimization charges for reading a stored level.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Hashable, Optional
+
+import numpy as np
+
+#: Default entry budget when a cache is requested without an explicit size.
+DEFAULT_CACHE_ENTRIES = 256
+
+#: How many distinct graphs the epoch table keeps alive at once.
+DEFAULT_MAX_GRAPHS = 4
+
+
+class IntersectionCache:
+    """Thread-safe bounded LRU of intersection results, epoch-partitioned."""
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CACHE_ENTRIES,
+        max_graphs: int = DEFAULT_MAX_GRAPHS,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("intersection cache capacity must be >= 1")
+        if max_graphs < 1:
+            raise ValueError("intersection cache must track >= 1 graph")
+        self.capacity = int(capacity)
+        self.max_graphs = int(max_graphs)
+        self._lock = threading.Lock()
+        #: (epoch, vertex-tuple) -> stored intersection (int32, sorted).
+        self._entries: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+        #: id(graph) -> (graph, epoch).  Strong refs: see module docstring.
+        self._graphs: "OrderedDict[int, tuple]" = OrderedDict()
+        self._next_epoch = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    # ------------------------------------------------------------------ #
+    # Epochs
+    # ------------------------------------------------------------------ #
+
+    def bind(self, graph) -> int:
+        """Epoch for ``graph``, registering it (and evicting the LRU graph
+        — together with all its entries — past ``max_graphs``)."""
+        with self._lock:
+            gid = id(graph)
+            slot = self._graphs.get(gid)
+            if slot is not None and slot[0] is graph:
+                self._graphs.move_to_end(gid)
+                return slot[1]
+            epoch = self._next_epoch
+            self._next_epoch += 1
+            self._graphs[gid] = (graph, epoch)
+            while len(self._graphs) > self.max_graphs:
+                _, (_, old_epoch) = self._graphs.popitem(last=False)
+                self._purge_epoch(old_epoch, count_as_eviction=True)
+            return epoch
+
+    def _purge_epoch(self, epoch: int, count_as_eviction: bool) -> int:
+        stale = [k for k in self._entries if k[0] == epoch]
+        for k in stale:
+            del self._entries[k]
+        if count_as_eviction:
+            self.evictions += len(stale)
+        else:
+            self.invalidations += len(stale)
+        return len(stale)
+
+    # ------------------------------------------------------------------ #
+    # Lookup / store
+    # ------------------------------------------------------------------ #
+
+    def get(self, epoch: int, key: Hashable) -> Optional[np.ndarray]:
+        """Cached intersection for ``key`` under ``epoch``, or ``None``.
+
+        Returns a *copy*: callers hand the array to stack levels that store
+        by reference, and a later in-place mutation must not poison the
+        cached value.
+        """
+        with self._lock:
+            full = (epoch, key)
+            entry = self._entries.get(full)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(full)
+            self.hits += 1
+            return entry.copy()
+
+    def put(self, epoch: int, key: Hashable, value: np.ndarray) -> None:
+        """Insert/refresh an entry, evicting the LRU tail past capacity."""
+        with self._lock:
+            stored = np.array(value, dtype=np.int32, copy=True)
+            full = (epoch, key)
+            self._entries[full] = stored
+            self._entries.move_to_end(full)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    # ------------------------------------------------------------------ #
+    # Invalidation / inspection
+    # ------------------------------------------------------------------ #
+
+    def invalidate(self, graph=None) -> int:
+        """Eagerly drop entries: all of them, or just ``graph``'s epoch.
+
+        Lazy safety does not depend on this (a replaced graph object gets a
+        fresh epoch), but eager invalidation releases the memory — and the
+        strong graph reference — immediately.  Returns dropped entry count.
+        """
+        with self._lock:
+            if graph is None:
+                n = len(self._entries)
+                self._entries.clear()
+                self._graphs.clear()
+                self.invalidations += n
+                return n
+            gid = id(graph)
+            slot = self._graphs.get(gid)
+            if slot is None or slot[0] is not graph:
+                return 0
+            del self._graphs[gid]
+            return self._purge_epoch(slot[1], count_as_eviction=False)
+
+    def stats(self) -> dict:
+        """Counter snapshot (cumulative across the cache's lifetime)."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "graphs": len(self._graphs),
+            }
+
+    def keys(self) -> list:
+        """Current keys, LRU-first (exposed for the eviction-order tests)."""
+        with self._lock:
+            return list(self._entries)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

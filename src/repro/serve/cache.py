@@ -183,6 +183,13 @@ def config_fingerprint(config: TDFSConfig) -> str:
         value = getattr(config, f.name)
         if isinstance(value, enum.Enum):
             value = value.value
+        elif f.name == "kernel_backend":
+            # A constructed backend instance must fingerprint by name, not
+            # by repr (object identity would make every fingerprint unique).
+            # Backend choice cannot change counts — conformance-tested —
+            # but it stays in the fingerprint so cached results report the
+            # backend that actually produced them.
+            value = getattr(value, "name", value)
         parts.append((f.name, value))
     return _digest(tuple(parts))
 

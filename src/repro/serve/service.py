@@ -268,10 +268,11 @@ class MatchService:
         """Replace a registered graph wholesale; bumps its version."""
         with self._graphs_lock:
             slot = self._slot(graph_id)
+            old_graph = slot.graph
             slot.graph = graph
             slot.version += 1
             version = slot.version
-        self._after_update(graph_id)
+        self._after_update(graph_id, old_graph)
         return version
 
     def apply_edges(
@@ -319,7 +320,7 @@ class MatchService:
             )
             slot.version += 1
             version = slot.version
-        self._after_update(graph_id)
+        self._after_update(graph_id, old)
         return version
 
     def graph(self, graph_id: str) -> CSRGraph:
@@ -351,11 +352,21 @@ class MatchService:
             slot = self._slot(graph_id)
             return slot.graph, slot.version
 
-    def _after_update(self, graph_id: str) -> None:
+    def _after_update(
+        self, graph_id: str, old_graph: Optional[CSRGraph] = None
+    ) -> None:
         self.metrics.incr("graph_updates")
         if self.config.eager_invalidation:
             self.plan_cache.invalidate_graph(graph_id)
             self.result_cache.invalidate_graph(graph_id)
+        # A shared kernel backend (a KernelBackend instance in the service's
+        # match_config) may hold intersections of the replaced graph.  Its
+        # epoch keying already prevents cross-version hits, but dropping the
+        # dead epoch eagerly returns the memory and keeps the stats honest.
+        backend = getattr(self.config.match_config, "kernel_backend", None)
+        cache = getattr(backend, "cache", None)
+        if cache is not None and old_graph is not None:
+            cache.invalidate(old_graph)
 
     # ------------------------------------------------------------------ #
     # Lifecycle

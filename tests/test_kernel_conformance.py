@@ -1,0 +1,330 @@
+"""Kernel-backend conformance: scalar vs vectorized, bit for bit.
+
+The vectorized backend (:mod:`repro.kernels.vectorized`) replaces the
+matcher's per-candidate leaf loop with one NumPy pass per sync-window
+batch.  Its contract is *exact equivalence*: on every input it must
+produce the same match count AND the same simulated cycle schedule as the
+scalar reference — identical makespan, busy/idle split, timeout and steal
+events.  Host wall-clock is the only permitted difference.
+
+The suite sweeps seeded differential cases (same ``REPRO_DIFF_SEED``
+offsetting scheme as ``test_differential_engines``) across the regimes
+that exercise distinct code paths: unlabeled/labeled, reuse on/off,
+timeout-steal and half-steal schedules, paged and truncating array
+stacks, the non-T-DFS engines, and empty/degenerate frontiers.  White-box
+tests force block engagement with ``VectorizedBackend(min_batch=1)`` so
+tiny graphs still cover the batched path, and pin the
+``intersect_sorted`` out-of-range clamp.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import TDFSConfig, from_edges, match
+from repro.core.config import StackMode, Strategy
+from repro.core.intersect import intersect_sorted
+from repro.errors import ReproError
+from repro.graph.builder import relabel_random
+from repro.graph.generators import erdos_renyi, power_law_cluster
+from repro.kernels import (
+    BACKEND_NAMES,
+    ScalarBackend,
+    VectorizedBackend,
+    available_backends,
+    make_backend,
+    resolve_backend,
+)
+from repro.query.random_queries import random_query
+
+#: CI shifts the whole case grid per run, same scheme as the engine
+#: differential suite — reproducible, but every push sees a fresh slice.
+SEED_BASE = int(os.environ.get("REPRO_DIFF_SEED", "0")) * 10_000
+
+FAST = TDFSConfig(num_warps=8)
+
+#: Aggressive decomposition so Q_task traffic and stack rebuilds are live.
+STEAL = TDFSConfig(num_warps=8, tau_cycles=400, chunk_size=2)
+
+#: Everything two backend runs must agree on.  ``elapsed_cycles`` alone
+#: nearly implies the rest (one mischarged candidate shifts the whole
+#: virtual schedule), but naming the fields makes divergence reports
+#: point at the mechanism, not just the symptom.
+CONFORMANCE_FIELDS = (
+    "count",
+    "elapsed_cycles",
+    "busy_cycles",
+    "idle_cycles",
+    "intersections",
+    "reuse_hits",
+    "timeouts",
+    "steals",
+    "overflowed",
+)
+
+
+def case_graph(seed: int):
+    """Deterministic small graph, alternating family by seed."""
+    if seed % 2 == 0:
+        return erdos_renyi(90 + seed % 5 * 10, 6.0, seed=seed, name=f"er-{seed}")
+    return power_law_cluster(
+        100 + seed % 3 * 20, 3, p_triangle=0.5, seed=seed, name=f"plc-{seed}"
+    )
+
+
+def case_query(seed: int, num_labels=None):
+    k = 3 + seed % 3  # 3..5 query vertices
+    density = (seed % 7) / 6.0
+    return random_query(
+        k, extra_edge_prob=density, num_labels=num_labels, seed=seed
+    )
+
+
+def assert_conformant(graph, query, config, engine="tdfs", label=""):
+    """Run both backends and assert the full conformance field set."""
+    scalar = match(
+        graph, query, engine=engine,
+        config=config.replace(kernel_backend="scalar"),
+    )
+    vec = match(
+        graph, query, engine=engine,
+        config=config.replace(kernel_backend="vectorized"),
+    )
+    for f in CONFORMANCE_FIELDS:
+        assert getattr(scalar, f) == getattr(vec, f), (
+            f"{label or graph.name}/{query if isinstance(query, str) else query.name}"
+            f" [{engine}]: backends diverge on {f}: "
+            f"scalar={getattr(scalar, f)} vectorized={getattr(vec, f)}"
+        )
+    return scalar, vec
+
+
+class TestUnlabeledConformance:
+    """Seeded unlabeled cases across both graph families."""
+
+    @pytest.mark.parametrize("case", range(8))
+    def test_backends_agree(self, case):
+        seed = SEED_BASE + case
+        assert_conformant(case_graph(seed), case_query(seed), FAST)
+
+
+class TestLabeledConformance:
+    """Labeled graphs: label filters shrink and sometimes empty frontiers."""
+
+    @pytest.mark.parametrize("case", range(4))
+    def test_backends_agree(self, case):
+        seed = SEED_BASE + 500 + case
+        graph = case_graph(seed)
+        labeled = relabel_random(graph, 4, seed=seed, name=f"{graph.name}-L4")
+        query = case_query(seed, num_labels=4)
+        assert_conformant(labeled, query, FAST)
+
+
+class TestScheduleConformance:
+    """The schedule itself must be backend-invariant.
+
+    Timeout decomposition and stealing key off warp-local virtual clocks;
+    a single mischarged cycle moves a timeout and changes who steals what.
+    Equal timeout/steal/queue behaviour is therefore the sharpest
+    cycle-conformance probe available.
+    """
+
+    @pytest.mark.parametrize("case", range(4))
+    def test_timeout_steal(self, case):
+        seed = SEED_BASE + 900 + case
+        scalar, _ = assert_conformant(
+            case_graph(seed), case_query(seed), STEAL, label="steal"
+        )
+
+    def test_some_steal_case_decomposes(self):
+        """Guard against a vacuous schedule sweep: at least one case in the
+        current seed slice must actually trigger timeout decomposition."""
+        for case in range(4):
+            seed = SEED_BASE + 900 + case
+            cfg = STEAL.replace(kernel_backend="vectorized")
+            if match(case_graph(seed), case_query(seed), config=cfg).timeouts:
+                return
+        pytest.fail("no steal case decomposed; τ/chunk too lax for the slice")
+
+    @pytest.mark.parametrize("case", range(2))
+    def test_half_steal(self, case):
+        seed = SEED_BASE + 950 + case
+        cfg = TDFSConfig(num_warps=8, strategy=Strategy.HALF_STEAL, chunk_size=2)
+        assert_conformant(case_graph(seed), case_query(seed), cfg, label="half")
+
+    @pytest.mark.parametrize("case", range(2))
+    def test_reuse_disabled(self, case):
+        seed = SEED_BASE + 970 + case
+        cfg = FAST.replace(enable_reuse=False)
+        assert_conformant(case_graph(seed), case_query(seed), cfg, label="noreuse")
+
+
+class TestStackVariantConformance:
+    """Stack storage changes write charges; backends must track exactly."""
+
+    def test_release_pages_declines_bulk_path(self, small_plc):
+        # Page release interleaves frees with writes, so ``plan_writes``
+        # declines and every block falls back to the scalar write loop —
+        # which must still be charge-identical.
+        cfg = FAST.replace(release_pages=True)
+        assert_conformant(small_plc, "P3", cfg, label="release")
+
+    def test_truncating_array_stacks(self, small_plc):
+        # STMatch-style fixed levels with silent truncation: both backends
+        # must truncate the *same* candidates (the vectorized plan declines
+        # on any would-be overflow) and report the overflow flag.
+        cfg = FAST.replace(
+            stack_mode=StackMode.ARRAY_FIXED,
+            fixed_capacity=8,
+            truncate_on_overflow=True,
+        )
+        scalar, vec = assert_conformant(small_plc, "P3", cfg, label="trunc")
+        assert scalar.overflowed and vec.overflowed
+
+    def test_array_dmax_stacks(self, small_plc):
+        cfg = FAST.replace(stack_mode=StackMode.ARRAY_DMAX)
+        assert_conformant(small_plc, "P3", cfg, label="dmax")
+
+
+class TestEngineConformance:
+    """Baseline engines route through the same matcher and backends."""
+
+    @pytest.mark.parametrize("engine", ["stmatch", "egsm", "pbe"])
+    def test_backends_agree(self, engine, small_plc):
+        assert_conformant(small_plc, "P2", FAST, engine=engine)
+
+
+class TestDegenerateFrontiers:
+    """Empty and near-empty inputs: the decline paths must line up too."""
+
+    def test_no_instances(self):
+        path = from_edges([(i, i + 1) for i in range(30)], name="path")
+        scalar, vec = assert_conformant(path, "P1", FAST, label="empty")
+        assert scalar.count == 0
+
+    def test_graph_smaller_than_query(self, triangle):
+        scalar, vec = assert_conformant(triangle, "P8", FAST, label="tiny")
+        assert scalar.count == 0
+
+    def test_single_edge(self):
+        pair = from_edges([(0, 1)], name="pair")
+        assert_conformant(pair, "P1", FAST, label="edge")
+
+
+class TestForcedBlockEngagement:
+    """White-box: ``min_batch=1`` removes the size gate, so even tiny
+    graphs drive the batched leaf path; results must still be exact."""
+
+    def test_forced_blocks_agree(self):
+        engaged = 0
+        for case in range(6):
+            seed = SEED_BASE + 980 + case
+            graph = case_graph(seed)
+            query = case_query(seed)
+            scalar = match(
+                graph, query, config=FAST.replace(kernel_backend="scalar")
+            )
+            backend = VectorizedBackend(min_batch=1)
+            produced = []
+            inner = backend.leaf_block
+
+            def spy(job, st, position, candidates):
+                block = inner(job, st, position, candidates)
+                produced.append(block)
+                return block
+
+            backend.leaf_block = spy
+            vec = match(graph, query, config=FAST.replace(kernel_backend=backend))
+            for f in CONFORMANCE_FIELDS:
+                assert getattr(scalar, f) == getattr(vec, f), (
+                    f"forced-block case {case}: diverge on {f}"
+                )
+            accepted = [b for b in produced if b is not None]
+            assert all(b.count >= 1 for b in accepted)
+            engaged += len(accepted)
+        # Not every case can engage (k = 3 queries have no stack-position
+        # leaves; some leaf shapes are unsupported and decline), but a
+        # whole slice without a single block means the gate is broken.
+        assert engaged, "min_batch=1 never engaged the block path in the slice"
+
+    def test_forced_blocks_under_steal(self):
+        seed = SEED_BASE + 990
+        graph = case_graph(seed)
+        query = case_query(seed)
+        scalar = match(
+            graph, query, config=STEAL.replace(kernel_backend="scalar")
+        )
+        vec = match(
+            graph,
+            query,
+            config=STEAL.replace(kernel_backend=VectorizedBackend(min_batch=1)),
+        )
+        for f in CONFORMANCE_FIELDS:
+            assert getattr(scalar, f) == getattr(vec, f)
+
+
+class TestIntersectSortedClamp:
+    """Regression: probes past ``b``'s end must clamp, never alias."""
+
+    def test_element_beyond_b_max(self):
+        a = np.array([5, 100], dtype=np.int32)
+        b = np.array([1, 5, 7], dtype=np.int32)
+        assert intersect_sorted(a, b).tolist() == [5]
+
+    def test_all_elements_beyond_b_max(self):
+        a = np.array([50, 60, 70], dtype=np.int32)
+        b = np.array([1, 2, 3], dtype=np.int32)
+        out = intersect_sorted(a, b)
+        assert out.size == 0 and out.dtype == np.int32
+
+    def test_boundary_element_equal_to_b_max(self):
+        a = np.array([3, 99], dtype=np.int32)
+        b = np.array([1, 2, 3], dtype=np.int32)
+        assert intersect_sorted(a, b).tolist() == [3]
+
+    def test_symmetry_with_swapped_sizes(self):
+        # intersect_sorted swaps to stream the smaller list; the clamp must
+        # hold regardless of which side carries the out-of-range element.
+        a = np.array([10], dtype=np.int32)
+        b = np.array([1, 2, 3, 4, 5], dtype=np.int32)
+        assert intersect_sorted(a, b).size == 0
+        assert intersect_sorted(b, a).size == 0
+
+
+class TestBackendRegistry:
+    """Construction-surface checks for the backend plumbing."""
+
+    def test_available_names(self):
+        assert available_backends() == BACKEND_NAMES
+        assert "scalar" in BACKEND_NAMES and "vectorized" in BACKEND_NAMES
+
+    def test_make_backend_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            make_backend("simd")
+
+    def test_cache_alias_attaches_default_cache(self):
+        backend = make_backend("vectorized+cache")
+        assert isinstance(backend, VectorizedBackend)
+        assert backend.cache is not None and backend.cache.capacity > 0
+
+    def test_cache_entries_attach_to_any_backend(self):
+        backend = make_backend("scalar", cache_entries=7)
+        assert isinstance(backend, ScalarBackend)
+        assert backend.cache is not None and backend.cache.capacity == 7
+
+    def test_resolve_passes_instances_through(self):
+        inst = VectorizedBackend()
+        assert resolve_backend(inst) is inst
+        assert isinstance(resolve_backend(None), VectorizedBackend)
+
+    def test_config_rejects_unknown_backend_name(self):
+        with pytest.raises(ReproError, match="unknown kernel backend"):
+            TDFSConfig(kernel_backend="simd")
+
+    def test_scalar_backend_never_offers_blocks(self):
+        backend = ScalarBackend()
+        assert backend.batched is False
+        assert backend.block_threshold(None, None, 3) == 0

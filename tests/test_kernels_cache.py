@@ -1,0 +1,209 @@
+"""Unit tests for the bounded LRU intersection cache (repro.kernels.cache).
+
+Covers the cache in isolation (eviction order, epoch partitioning, copy
+semantics), its integration with the engine's obs counters
+(``kernel.cache_hits`` / ``kernel.cache_misses`` must reconcile with the
+cache's own tallies), and the serving layer's eager invalidation on
+``update_graph``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import TDFSConfig, match
+from repro.graph.generators import power_law_cluster
+from repro.kernels import IntersectionCache, VectorizedBackend
+from repro.serve import MatchService, ServeConfig
+
+
+def arr(*xs):
+    return np.array(xs, dtype=np.int32)
+
+
+class TestLRUBehaviour:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            IntersectionCache(0)
+
+    def test_eviction_order_is_lru(self):
+        cache = IntersectionCache(capacity=2)
+        epoch = cache.bind(object())
+        cache.put(epoch, (1, 2), arr(5))
+        cache.put(epoch, (3, 4), arr(6))
+        cache.put(epoch, (5, 6), arr(7))  # evicts (1, 2), the LRU entry
+        assert cache.evictions == 1
+        assert cache.keys() == [(epoch, (3, 4)), (epoch, (5, 6))]
+        assert cache.get(epoch, (1, 2)) is None
+
+    def test_get_refreshes_recency(self):
+        cache = IntersectionCache(capacity=2)
+        epoch = cache.bind(object())
+        cache.put(epoch, (1, 2), arr(5))
+        cache.put(epoch, (3, 4), arr(6))
+        assert cache.get(epoch, (1, 2)) is not None  # (1, 2) now MRU
+        cache.put(epoch, (5, 6), arr(7))  # evicts (3, 4), not (1, 2)
+        assert cache.get(epoch, (3, 4)) is None
+        assert cache.get(epoch, (1, 2)).tolist() == [5]
+
+    def test_put_refreshes_recency(self):
+        cache = IntersectionCache(capacity=2)
+        epoch = cache.bind(object())
+        cache.put(epoch, (1, 2), arr(5))
+        cache.put(epoch, (3, 4), arr(6))
+        cache.put(epoch, (1, 2), arr(9))  # refresh, not insert
+        cache.put(epoch, (5, 6), arr(7))
+        assert cache.get(epoch, (3, 4)) is None
+        assert cache.get(epoch, (1, 2)).tolist() == [9]
+
+    def test_counters_in_stats(self):
+        cache = IntersectionCache(capacity=4)
+        epoch = cache.bind(object())
+        cache.put(epoch, (1, 2), arr(5))
+        cache.get(epoch, (1, 2))
+        cache.get(epoch, (9, 9))
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["size"] == 1 and stats["capacity"] == 4
+
+
+class TestCopySemantics:
+    """Stack levels store by reference, so shared arrays would be poison."""
+
+    def test_get_returns_a_copy(self):
+        cache = IntersectionCache(capacity=4)
+        epoch = cache.bind(object())
+        cache.put(epoch, (1, 2), arr(1, 2, 3))
+        out = cache.get(epoch, (1, 2))
+        out[0] = 99
+        assert cache.get(epoch, (1, 2)).tolist() == [1, 2, 3]
+
+    def test_put_stores_a_copy(self):
+        cache = IntersectionCache(capacity=4)
+        epoch = cache.bind(object())
+        source = arr(1, 2, 3)
+        cache.put(epoch, (1, 2), source)
+        source[0] = 99
+        assert cache.get(epoch, (1, 2)).tolist() == [1, 2, 3]
+
+
+class TestEpochs:
+    def test_same_graph_same_epoch(self):
+        cache = IntersectionCache(capacity=4)
+        g = object()
+        assert cache.bind(g) == cache.bind(g)
+
+    def test_distinct_graphs_distinct_epochs(self):
+        cache = IntersectionCache(capacity=4)
+        e1, e2 = cache.bind(object()), cache.bind(object())
+        assert e1 != e2
+        cache_key = (1, 2)
+        cache.put(e1, cache_key, arr(5))
+        assert cache.get(e2, cache_key) is None  # no cross-graph bleed
+
+    def test_graph_table_eviction_purges_entries(self):
+        cache = IntersectionCache(capacity=8, max_graphs=2)
+        g1, g2, g3 = object(), object(), object()
+        e1 = cache.bind(g1)
+        cache.put(e1, (1, 2), arr(5))
+        cache.bind(g2)
+        cache.bind(g3)  # evicts g1's slot and its entries
+        assert cache.get(e1, (1, 2)) is None
+        assert cache.stats()["graphs"] == 2
+
+    def test_invalidate_one_graph(self):
+        cache = IntersectionCache(capacity=8)
+        g1, g2 = object(), object()
+        e1, e2 = cache.bind(g1), cache.bind(g2)
+        cache.put(e1, (1, 2), arr(5))
+        cache.put(e2, (1, 2), arr(6))
+        assert cache.invalidate(g1) == 1
+        assert cache.invalidations == 1
+        assert cache.get(e1, (1, 2)) is None
+        assert cache.get(e2, (1, 2)).tolist() == [6]
+
+    def test_invalidate_everything(self):
+        cache = IntersectionCache(capacity=8)
+        epoch = cache.bind(object())
+        cache.put(epoch, (1, 2), arr(5))
+        cache.put(epoch, (3, 4), arr(6))
+        assert cache.invalidate() == 2
+        assert len(cache) == 0
+
+    def test_invalidate_unknown_graph_is_noop(self):
+        cache = IntersectionCache(capacity=8)
+        assert cache.invalidate(object()) == 0
+
+
+class TestObsReconciliation:
+    """The engine's kernel.* counters must mirror the cache's own books."""
+
+    def test_hits_misses_reconcile_across_runs(self, small_plc):
+        backend = VectorizedBackend(cache=IntersectionCache(capacity=8192))
+        cfg = TDFSConfig(
+            num_warps=8, enable_reuse=False, kernel_backend=backend
+        )
+        r1 = match(small_plc, "P3", config=cfg)
+        s1 = backend.cache.stats()
+        assert s1["misses"] > 0
+        assert r1.metrics["kernel.cache_hits"] == s1["hits"]
+        assert r1.metrics["kernel.cache_misses"] == s1["misses"]
+
+        # Same graph object → same epoch → the second run hits.
+        r2 = match(small_plc, "P3", config=cfg)
+        s2 = backend.cache.stats()
+        assert s2["hits"] > s1["hits"]
+        assert r2.metrics["kernel.cache_hits"] == s2["hits"] - s1["hits"]
+        assert r2.metrics["kernel.cache_misses"] == s2["misses"] - s1["misses"]
+        assert r2.count == r1.count
+
+    def test_cached_counts_match_uncached(self, small_plc):
+        plain = match(
+            small_plc, "P3", config=TDFSConfig(num_warps=8, kernel_backend="scalar")
+        )
+        cached = match(
+            small_plc,
+            "P3",
+            config=TDFSConfig(num_warps=8, kernel_backend="vectorized+cache"),
+        )
+        assert cached.count == plain.count
+
+    def test_no_cache_no_kernel_counters(self, small_plc):
+        result = match(
+            small_plc, "P1", config=TDFSConfig(num_warps=8, kernel_backend="vectorized")
+        )
+        assert "kernel.cache_hits" not in result.metrics
+
+
+class TestServeInvalidation:
+    """update_graph must eagerly drop the replaced graph's entries."""
+
+    def test_update_graph_invalidates_shared_cache(self, small_plc):
+        backend = VectorizedBackend(cache=IntersectionCache(capacity=64))
+        svc = MatchService(
+            ServeConfig(
+                workers=1,
+                match_config=TDFSConfig(num_warps=8, kernel_backend=backend),
+            )
+        )
+        svc.register_graph("g", small_plc)
+        epoch = backend.cache.bind(small_plc)
+        backend.cache.put(epoch, (1, 2), arr(5))
+        assert len(backend.cache) == 1
+
+        replacement = power_law_cluster(
+            50, 2, p_triangle=0.4, seed=9, name="replacement"
+        )
+        assert svc.update_graph("g", replacement) == 2
+        assert len(backend.cache) == 0
+        assert backend.cache.invalidations == 1
+        # The replacement's epoch is fresh — a stale hit is impossible.
+        assert backend.cache.bind(replacement) != epoch
+
+    def test_update_graph_without_cache_is_fine(self, small_plc, k4):
+        svc = MatchService(
+            ServeConfig(workers=1, match_config=TDFSConfig(num_warps=8))
+        )
+        svc.register_graph("g", small_plc)
+        assert svc.update_graph("g", k4) == 2
