@@ -18,10 +18,17 @@ Commands
             --engine egsm --gpus 2
 ``serve``
     Run the async matching service (``repro.serve``) over a replayed or
-    generated workload; ``--smoke`` runs the self-checking cache demo::
+    generated workload; ``--smoke`` runs the self-checking cache demo and
+    ``--chaos`` drives the supervised service under seeded worker-kill /
+    worker-stall faults, asserting that every request settles and every
+    resumed count equals the fault-free baseline.  SIGTERM triggers a
+    graceful drain (seal intake, finish in-flight work, exit 0 when
+    nothing was stranded)::
 
         python -m repro serve --smoke
         python -m repro serve --dataset dblp --workload reqs.jsonl
+        python -m repro serve --chaos --seed 7 --kill-rate 0.3
+        python -m repro serve --smoke & pid=$!; kill -TERM $pid; wait $pid
 ``chaos``
     Run under deterministic fault injection and report survival.
 ``profile``
@@ -162,8 +169,35 @@ def _replay(service, graph_id: str, specs: list[dict], default_engine: str):
     return [t.result(timeout=600.0) for t in tickets]
 
 
+def _install_drain_handler(state: dict):
+    """SIGTERM → graceful drain of the active service, then exit.
+
+    The handler runs on the main thread (typically interrupting a blocking
+    ``ticket.result()`` wait): it seals intake, lets in-flight and queued
+    work finish on the worker threads, and exits 0 only when nothing was
+    stranded.  Returns the previous handler (``None`` when signals cannot
+    be installed, e.g. not on the main thread).
+    """
+    import signal
+
+    def _on_term(signum, frame):
+        service = state.get("service")
+        if service is None or not service.running:
+            print("SIGTERM: no active service; exiting cleanly")
+            raise SystemExit(0)
+        stranded = service.drain(timeout=30.0)
+        print(service.render_metrics(), end="")
+        print(f"SIGTERM: graceful drain complete, {stranded} stranded request(s)")
+        raise SystemExit(0 if stranded == 0 else 1)
+
+    try:
+        return signal.signal(signal.SIGTERM, _on_term)
+    except ValueError:
+        return None
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.serve import MatchService, ServeConfig
+    from repro.serve import MatchService, ServeConfig, SupervisorConfig
 
     patterns = [p.strip() for p in args.patterns.split(",") if p.strip()]
     graph = load_dataset(args.dataset, num_labels=args.labels)
@@ -172,8 +206,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         device_memory=DATASETS[args.dataset].device_memory,
     )
 
+    state: dict = {"service": None}
+    _install_drain_handler(state)
+
     def build_service(cached: bool) -> MatchService:
-        return MatchService(
+        supervisor = None
+        if args.supervise:
+            supervisor = SupervisorConfig(
+                checkpoint_every_events=args.checkpoint_events,
+                seed=args.seed or 0,
+            )
+        service = MatchService(
             ServeConfig(
                 workers=args.workers,
                 max_queue=args.max_queue,
@@ -181,8 +224,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 enable_plan_cache=cached,
                 enable_result_cache=cached,
                 match_config=match_config,
+                supervisor=supervisor,
             )
         )
+        state["service"] = service
+        return service
 
     if args.workload:
         specs = _load_workload(args.workload)
@@ -190,6 +236,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         specs = [
             {"pattern": patterns[i % len(patterns)]} for i in range(args.requests)
         ]
+
+    if args.chaos:
+        return _serve_chaos(args, graph, match_config, patterns, specs, state)
 
     if not args.smoke:
         with build_service(cached=not args.no_cache) as service:
@@ -259,6 +308,138 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         and cached_mean < uncached_mean
     )
     print(f"verdict                       : {'OK' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
+def _serve_chaos(
+    args: argparse.Namespace,
+    graph,
+    match_config: TDFSConfig,
+    patterns: list[str],
+    specs: list[dict],
+    state: dict,
+) -> int:
+    """``repro serve --chaos``: supervised serving under worker faults.
+
+    Replays the workload against a service whose workers are killed and
+    stalled by a seeded :class:`~repro.faults.WorkerFaultPlan`, then
+    verifies the two resilience invariants: every request settles (a
+    count, a typed error, or a typed rejection — never a hung ticket),
+    and every successful count — including checkpoint-resumed ones —
+    equals the fault-free baseline exactly.
+    """
+    from repro.bench.harness import fault_seed
+    from repro.faults import WorkerFaultPlan
+    from repro.serve import (
+        AdmissionRejected,
+        MatchRequest,
+        MatchService,
+        ResultTimeout,
+        ServeConfig,
+        SupervisorConfig,
+    )
+
+    seed = args.seed if args.seed is not None else (fault_seed() or 0)
+    print(
+        f"=== repro serve --chaos: {args.dataset}, seed {seed}, "
+        f"kill {args.kill_rate}, stall {args.stall_rate}, "
+        f"checkpoint every {args.checkpoint_events} events ==="
+    )
+    baselines = {
+        p: match(graph, p, engine=args.engine, config=match_config).count
+        for p in patterns
+    }
+
+    plan = WorkerFaultPlan.seeded(
+        seed, kill_rate=args.kill_rate, stall_rate=args.stall_rate, stall_s=0.5
+    )
+    service = MatchService(
+        ServeConfig(
+            workers=args.workers,
+            max_queue=args.max_queue,
+            batch_window_ms=args.window_ms,
+            enable_plan_cache=True,
+            enable_result_cache=False,  # every request must actually execute
+            match_config=match_config,
+            supervisor=SupervisorConfig(
+                checkpoint_every_events=args.checkpoint_events,
+                watchdog_interval_s=0.02,
+                heartbeat_timeout_s=0.25,
+                max_redeliveries=2,
+                seed=seed,
+            ),
+            worker_faults=plan,
+        )
+    )
+    state["service"] = service
+    total = exact = typed = mismatched = unsettled = 0
+    with service:
+        service.register_graph(args.dataset, graph)
+        tickets: list[tuple[str, object]] = []
+        for spec in specs:
+            for _ in range(int(spec.get("repeat", 1))):
+                total += 1
+                try:
+                    tickets.append(
+                        (
+                            spec["pattern"],
+                            service.submit(
+                                MatchRequest(
+                                    graph_id=args.dataset,
+                                    query=spec["pattern"],
+                                    engine=spec.get("engine", args.engine),
+                                    use_result_cache=False,
+                                )
+                            ),
+                        )
+                    )
+                except (AdmissionRejected, ReproError):
+                    # CircuitOpenError / PoisonedRequestError / shedding:
+                    # a typed rejection IS a settlement.
+                    typed += 1
+        for pattern, ticket in tickets:
+            try:
+                response = ticket.result(timeout=600.0)
+            except ResultTimeout:
+                unsettled += 1
+                continue
+            except (AdmissionRejected, ReproError):
+                typed += 1
+                continue
+            if response.error is not None:
+                typed += 1
+            elif response.count == baselines[pattern]:
+                exact += 1
+            else:
+                mismatched += 1
+        print(service.render_metrics(), end="")
+        snap = service.snapshot()
+    c = snap["counters"]
+    res = snap.get("resilience", {})
+    print(
+        f"requests          : {total} total — {exact} exact-count, "
+        f"{typed} typed-error, {mismatched} count-mismatch, "
+        f"{unsettled} unsettled"
+    )
+    print(
+        f"chaos             : {c['worker_crashes']} kills, "
+        f"{c['worker_stalls']} stalls, {c['supervisor_restarts']} restarts, "
+        f"{c['redeliveries']} redeliveries"
+    )
+    print(
+        f"checkpoint/resume : {c['checkpoints']} checkpoints, "
+        f"{c['resumed']} resumes, {c['quarantined']} quarantined"
+    )
+    print(
+        f"breakers          : {res.get('breaker_opens', 0)} opens, "
+        f"{res.get('breaker_rejections', 0)} shed at submit"
+    )
+    ok = unsettled == 0 and mismatched == 0
+    print(
+        f"verdict           : {'OK' if ok else 'FAIL'} "
+        "(every request settled; every successful count equals the "
+        "fault-free baseline)"
+    )
     return 0 if ok else 1
 
 
@@ -425,6 +606,28 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--workload", default=None,
                          help="JSON-lines workload file to replay instead "
                               "of the generated pattern cycle")
+    serve_p.add_argument(
+        "--chaos", action="store_true",
+        help="drive the supervised service under seeded worker-kill/stall "
+             "faults; verify every request settles and resumed counts "
+             "equal the fault-free baseline",
+    )
+    serve_p.add_argument("--supervise", action="store_true",
+                         help="run the (non-chaos) service under the "
+                              "supervisor: watchdog, breakers, quarantine")
+    serve_p.add_argument("--seed", type=int, default=None,
+                         help="worker-fault seed for --chaos (default: "
+                              "REPRO_FAULT_SEED, then 0)")
+    serve_p.add_argument("--kill-rate", type=float, default=0.3,
+                         help="per-checkpoint worker-kill probability "
+                              "(--chaos)")
+    serve_p.add_argument("--stall-rate", type=float, default=0.05,
+                         help="per-checkpoint worker-stall probability "
+                              "(--chaos)")
+    serve_p.add_argument("--checkpoint-events", type=int, default=50,
+                         help="checkpoint the pending frontier every N "
+                              "scheduler events (0 = restart from scratch "
+                              "on redelivery)")
     serve_p.set_defaults(func=_cmd_serve)
 
     chaos_p = sub.add_parser(

@@ -129,6 +129,19 @@ class TDFSConfig:
     :mod:`repro.obs`).  ``None`` = a fresh per-run registry with tracing
     disabled; pass your own to accumulate across runs or enable tracing."""
 
+    checkpoint_every_events: int = 0
+    """Take a consistent frontier checkpoint every N scheduler events
+    (0 = off).  At each boundary every warp is suspended at a yield point,
+    so :func:`repro.faults.recovery.snapshot_pending_work` reads an exact
+    resumable remainder; the serving layer's supervisor uses this for
+    checkpoint/resume of in-flight matches.  Arms the host-side task
+    journal (like ``retry``/``fault_plan``) so the snapshot never drains
+    the live ``Q_task`` ring."""
+    checkpoint_hook: Optional[object] = None
+    """Callable ``hook(job, now_cycles)`` invoked at each checkpoint
+    boundary (requires ``checkpoint_every_events > 0``).  May raise to
+    abort the run — the worker-kill chaos axis does exactly that."""
+
     # ------------------------------------------------------------------ #
 
     def __post_init__(self) -> None:
@@ -144,6 +157,8 @@ class TDFSConfig:
             raise ReproError("tau_cycles must be positive; use no_timeout()")
         if self.kernel_cache_entries < 0:
             raise ReproError("kernel_cache_entries must be >= 0")
+        if self.checkpoint_every_events < 0:
+            raise ReproError("checkpoint_every_events must be >= 0")
         if isinstance(self.kernel_backend, str):
             from repro.kernels import BACKEND_NAMES
 

@@ -48,6 +48,11 @@ class TDFSEngine:
     #: Whether this engine filters initial edges on the host, serially
     #: (STMatch does; T-DFS filters on the device, in parallel).
     host_filter = False
+    #: Whether :meth:`run_resume` can continue a run from a recovery
+    #: snapshot (checkpoint/resume in the serving layer).  True for every
+    #: engine that executes through :meth:`_run_single` — the CPU and PBE
+    #: baselines have their own run loops and do not support it.
+    supports_resume = True
 
     def __init__(self, config: Optional[TDFSConfig] = None) -> None:
         self.config = config or TDFSConfig()
@@ -81,6 +86,37 @@ class TDFSEngine:
         return self._run_single(
             graph, plan, edges, gpu_name="gpu0", collect_matches=collect_matches
         )
+
+    def run_resume(
+        self,
+        graph: CSRGraph,
+        query: Union[QueryGraph, MatchingPlan],
+        groups: list,
+        base_count: int = 0,
+    ) -> MatchResult:
+        """Resume a checkpointed run from its saved frontier.
+
+        ``groups`` is a list of ``(rows, width)`` work groups as produced
+        by :func:`repro.faults.recovery.snapshot_pending_work` (via a
+        checkpoint hook); ``base_count`` is the match count the original
+        run had accumulated when the checkpoint was taken.  Executes *only*
+        the snapshot — completed subtrees keep their counts — so
+        ``result.count`` equals the uninterrupted run's count exactly.
+        The result carries resume provenance (``resumed`` /
+        ``resume_rows`` / ``resume_base_count``).
+        """
+        from repro.faults.recovery import pending_rows
+
+        plan = self._resolve_plan(query)
+        edges = np.empty((0, 2), dtype=np.int64)
+        result = self._run_single(
+            graph, plan, edges, gpu_name="gpu0", resume=list(groups)
+        )
+        result.count += int(base_count)
+        result.resumed = True
+        result.resume_rows = pending_rows(list(groups))
+        result.resume_base_count = int(base_count)
+        return result
 
     def compile(self, query: Union[QueryGraph, MatchingPlan]) -> MatchingPlan:
         """Compile ``query`` exactly as :meth:`run` would.
@@ -526,6 +562,14 @@ class TDFSEngine:
         )
         if job_sink is not None:
             job_sink.append(job)
+        if cfg.checkpoint_every_events > 0 and cfg.checkpoint_hook is not None:
+            # Periodic consistent checkpoints: every N events the scheduler
+            # pauses with all warps at yield points and hands the live job
+            # to the hook, which may snapshot the pending frontier (or
+            # raise, simulating the executing worker's death mid-match).
+            hook = cfg.checkpoint_hook
+            gpu.scheduler.pause_every = cfg.checkpoint_every_events
+            gpu.scheduler.pause_hook = lambda now: hook(job, now)
         gpu.note_work_done(start_time)
         gpu.launch(job.warp_body, at=start_time)
         gpu.scheduler.run(max_events=cfg.max_events)

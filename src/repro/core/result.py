@@ -128,6 +128,13 @@ class MatchResult:
     """Flat observability snapshot (``repro.obs`` registry ``flat()``
     schema) taken at the end of the run."""
     host_preprocess_cycles: int = 0
+    resumed: bool = False
+    """True when this result continued a checkpointed run instead of
+    starting from scratch (see :meth:`TDFSEngine.run_resume`)."""
+    resume_rows: int = 0
+    """Work rows in the resumed frontier (0 on a from-scratch run)."""
+    resume_base_count: int = 0
+    """Matches carried over from the checkpoint; included in ``count``."""
     queue: QueueStats = field(default_factory=QueueStats)
     memory: MemoryStats = field(default_factory=MemoryStats)
     recovery: RecoveryStats = field(default_factory=RecoveryStats)
@@ -201,6 +208,11 @@ class MatchResult:
             },
             "num_matches_collected": len(self.matches) if self.matches else 0,
             "recovery": self.recovery.to_dict(),
+            "resume": {
+                "resumed": self.resumed,
+                "rows": self.resume_rows,
+                "base_count": self.resume_base_count,
+            },
         }
 
     def summary(self) -> str:
@@ -211,6 +223,8 @@ class MatchResult:
                 f"{self.error}"
             )
         flag = " [OVERFLOW: count unreliable]" if self.overflowed else ""
+        if self.resumed:
+            flag += f" [resumed: {self.resume_rows} rows from checkpoint]"
         if self.recovery.attempts > 1 or self.recovery.devices_failed_over:
             flag += (
                 f" [recovered: {self.recovery.faults_survived} fault(s), "

@@ -186,13 +186,19 @@ class MatchJob:
         self._extra_idx = 0
         self._extra_cursor = 0
         #: Host-side multiset of in-flight ``Q_task`` triples.  Armed only
-        #: when the config carries a fault plan or retry policy: it lets the
-        #: dequeue path *detect* corrupted ring slots (membership check) and
-        #: lets recovery re-create lost tasks even when the ring itself was
-        #: poisoned.  ``None`` keeps the fault-free fast path unchanged.
+        #: when the config carries a fault plan, retry policy, or periodic
+        #: checkpointing: it lets the dequeue path *detect* corrupted ring
+        #: slots (membership check) and lets recovery/checkpoint snapshots
+        #: read the queued remainder non-destructively even when the ring
+        #: itself was poisoned.  ``None`` keeps the fault-free fast path
+        #: unchanged.
         self.journal: Optional[dict[Task, int]] = (
             {}
-            if (config.fault_plan is not None or config.retry is not None)
+            if (
+                config.fault_plan is not None
+                or config.retry is not None
+                or config.checkpoint_every_events > 0
+            )
             else None
         )
 

@@ -32,6 +32,12 @@ from repro.faults.recovery import (
     reshard_groups,
     snapshot_pending_work,
 )
+from repro.faults.workers import (
+    WorkerCrash,
+    WorkerFaultKind,
+    WorkerFaultPlan,
+    WorkerFaultSpec,
+)
 
 __all__ = [
     "DEFAULT_LADDER",
@@ -45,6 +51,10 @@ __all__ = [
     "RUNG_ARRAY_STACKS",
     "RUNG_CPU_FALLBACK",
     "RUNG_SHRINK_CHUNK",
+    "WorkerCrash",
+    "WorkerFaultKind",
+    "WorkerFaultPlan",
+    "WorkerFaultSpec",
     "cpu_resume_count",
     "deadline_policy",
     "format_survival_report",

@@ -45,6 +45,14 @@ class Scheduler:
             Callable[[object, int], Optional[BaseException]]
         ] = None
         self.charge_hook: Optional[Callable[[object, int], int]] = None
+        #: Checkpoint hook (see ``TDFSConfig.checkpoint_every_events``):
+        #: called with the current virtual time every ``pause_every``
+        #: events, at a point where *every* warp is suspended at a yield —
+        #: the same consistent state a fatal fault would freeze, so callers
+        #: may take an exact recovery snapshot of the run.  The hook may
+        #: raise to abort the run (a simulated worker death).
+        self.pause_hook: Optional[Callable[[int], None]] = None
+        self.pause_every: int = 0
 
     def spawn(self, warp: object, body: WarpBody, at: Optional[int] = None) -> None:
         """Register a warp generator to start at virtual time ``at``.
@@ -90,6 +98,12 @@ class Scheduler:
                 )
             heapq.heappush(heap, (time + int(spent), self._seq, warp, body))
             self._seq += 1
+            if (
+                self.pause_hook is not None
+                and self.pause_every > 0
+                and self.events % self.pause_every == 0
+            ):
+                self.pause_hook(self.now)
         return self.now
 
     def publish(self, registry) -> None:

@@ -11,10 +11,13 @@ A long-lived serving layer for repeated queries against evolving graphs:
   (:mod:`repro.serve.batcher`);
 * a worker pool with per-thread engine ownership and deadline enforcement
   wired into the fault-recovery ladder (:mod:`repro.serve.workers`);
+* supervised serving — worker watchdog with bounded redelivery, circuit
+  breakers, poison-query quarantine, and checkpoint/resume of in-flight
+  matches (:mod:`repro.serve.resilience`);
 * counters/histograms with a text report (:mod:`repro.serve.metrics`).
 
 See the "Serving" section of the README for an embed example and
-DESIGN.md for the cache-key scheme.
+DESIGN.md for the cache-key scheme and the resilience design (§10).
 """
 
 from repro.serve.batcher import AdmissionQueue, AdmissionRejected, QueueEntry
@@ -27,6 +30,17 @@ from repro.serve.cache import (
     result_key,
 )
 from repro.serve.metrics import Histogram, ServeMetrics
+from repro.serve.resilience import (
+    BreakerState,
+    CheckpointStore,
+    CircuitBreaker,
+    CircuitOpenError,
+    MatchCheckpoint,
+    PoisonedRequestError,
+    Quarantine,
+    Supervisor,
+    SupervisorConfig,
+)
 from repro.serve.service import (
     MatchRequest,
     MatchResponse,
@@ -39,17 +53,26 @@ from repro.serve.service import (
 __all__ = [
     "AdmissionQueue",
     "AdmissionRejected",
+    "BreakerState",
     "CacheStats",
+    "CheckpointStore",
+    "CircuitBreaker",
+    "CircuitOpenError",
     "Histogram",
     "LRUCache",
+    "MatchCheckpoint",
     "MatchRequest",
     "MatchResponse",
     "MatchService",
     "MatchTicket",
+    "PoisonedRequestError",
+    "Quarantine",
     "QueueEntry",
     "ResultTimeout",
     "ServeConfig",
     "ServeMetrics",
+    "Supervisor",
+    "SupervisorConfig",
     "config_fingerprint",
     "plan_fingerprint",
     "plan_key",

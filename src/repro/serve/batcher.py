@@ -31,7 +31,15 @@ class AdmissionRejected(ReproError):
 
 @dataclass
 class QueueEntry:
-    """One admitted request waiting for a worker."""
+    """One admitted request waiting for a worker.
+
+    An entry settles (its ticket completes or fails) **exactly once**:
+    every path that responds — worker success/error, shedding, shutdown,
+    supervisor quarantine, a stranded-worker sweep — must first win
+    :meth:`claim_settle`.  That makes crashed-worker redelivery safe: a
+    wedged "zombie" worker and its replacement can both finish the same
+    entry, but only the first response is delivered and counted.
+    """
 
     request: object
     ticket: object
@@ -41,6 +49,29 @@ class QueueEntry:
     submitted_at: float
     deadline_at: Optional[float] = None
     sequence: int = field(default=0, compare=False)
+    redeliveries: int = 0
+    """Times the supervisor re-enqueued this entry after a worker died or
+    wedged mid-flight (bounded by ``SupervisorConfig.max_redeliveries``)."""
+    checkpoint: object = field(default=None, compare=False, repr=False)
+    """Latest :class:`~repro.serve.resilience.MatchCheckpoint` attached on
+    redelivery, so the replacement worker resumes instead of restarting."""
+    _settle_lock: threading.Lock = field(
+        default_factory=threading.Lock, compare=False, repr=False
+    )
+    _settled: bool = field(default=False, compare=False, repr=False)
+
+    def claim_settle(self) -> bool:
+        """Atomically claim the right to settle this entry (one winner)."""
+        with self._settle_lock:
+            if self._settled:
+                return False
+            self._settled = True
+            return True
+
+    @property
+    def settled(self) -> bool:
+        with self._settle_lock:
+            return self._settled
 
 
 class AdmissionQueue:
@@ -64,6 +95,7 @@ class AdmissionQueue:
         self._items: list[QueueEntry] = []
         self._seq = 0
         self._closed = False
+        self._sealed = False
         self.peak_depth = 0
         self.total_admitted = 0
         self.total_shed = 0
@@ -71,18 +103,24 @@ class AdmissionQueue:
 
     # ------------------------------------------------------------------ #
 
-    def offer(self, entry: QueueEntry) -> None:
+    def offer(self, entry: QueueEntry, force: bool = False) -> None:
         """Admit ``entry`` or raise :class:`AdmissionRejected`.
 
         On overload the youngest lowest-priority queued entry is shed to
         make room — but only when the newcomer's priority is strictly
         higher; ties are resolved in favor of what is already queued.
+        ``force`` bypasses the drain seal (supervisor redelivery of work
+        already admitted must land even while intake is sealed) but never
+        a full close.
         """
         victim: Optional[QueueEntry] = None
         with self._lock:
             if self._closed:
                 self.total_rejected += 1
                 raise AdmissionRejected("service is stopped")
+            if self._sealed and not force:
+                self.total_rejected += 1
+                raise AdmissionRejected("service is draining; intake sealed")
             if len(self._items) >= self.max_depth:
                 victim = min(
                     self._items, key=lambda e: (e.priority, -e.sequence)
@@ -141,6 +179,11 @@ class AdmissionQueue:
         with self._lock:
             return len(self._items)
 
+    def seal(self) -> None:
+        """Stop *intake* while workers keep draining (graceful drain)."""
+        with self._lock:
+            self._sealed = True
+
     def close(self) -> list[QueueEntry]:
         """Stop admissions, wake all waiters, and return what was queued."""
         with self._lock:
@@ -154,3 +197,8 @@ class AdmissionQueue:
     def closed(self) -> bool:
         with self._lock:
             return self._closed
+
+    @property
+    def sealed(self) -> bool:
+        with self._lock:
+            return self._sealed

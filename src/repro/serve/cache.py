@@ -170,7 +170,16 @@ def plan_fingerprint(query: Union[QueryGraph, MatchingPlan]) -> str:
 #: shift virtual timings only) or are serving-layer concerns injected per
 #: request (fault plan, retry policy).
 _CONFIG_FP_SKIP = frozenset(
-    {"cost", "fault_plan", "retry", "trace", "max_events", "obs"}
+    {
+        "cost",
+        "fault_plan",
+        "retry",
+        "trace",
+        "max_events",
+        "obs",
+        "checkpoint_every_events",
+        "checkpoint_hook",
+    }
 )
 
 

@@ -62,6 +62,19 @@ COUNTERS = (
     "degraded",
     "batches",
     "graph_updates",
+    # -- supervision (repro.serve.resilience) -------------------------- #
+    "supervisor_restarts",
+    "worker_crashes",
+    "worker_stalls",
+    "redeliveries",
+    "quarantined",
+    "poisoned_rejected",
+    "breaker_opens",
+    "breaker_rejected",
+    "checkpoints",
+    "resumed",
+    "stranded",
+    "drains",
 )
 
 #: Registry namespace for every serve instrument.
@@ -92,6 +105,15 @@ class ServeMetrics:
         )
         """Requests per micro-batch."""
         self._depth = self.registry.gauge(_PREFIX + "queue_depth")
+        self.checkpoint_age_ms = self.registry.histogram(
+            _PREFIX + "checkpoint_age_ms",
+            buckets=LATENCY_BUCKETS_MS,
+            window=4096,
+        )
+        """Age of the checkpoint a resumed run continued from (how much
+        progress a crash could cost at the configured cadence)."""
+        self._breaker_open = self.registry.gauge(_PREFIX + "breaker_open")
+        self._pool_size = self.registry.gauge(_PREFIX + "pool_size")
         self._started = time.monotonic()
 
     # ------------------------------------------------------------------ #
@@ -115,6 +137,15 @@ class ServeMetrics:
 
     def set_queue_depth(self, depth: int) -> None:
         self._depth.set(depth)
+
+    def observe_checkpoint_age(self, ms: float) -> None:
+        self.checkpoint_age_ms.observe(ms)
+
+    def set_breaker_open(self, n: int) -> None:
+        self._breaker_open.set(n)
+
+    def set_pool_size(self, n: int) -> None:
+        self._pool_size.set(n)
 
     # ------------------------------------------------------------------ #
 
@@ -149,9 +180,12 @@ class ServeMetrics:
                 "depth": self._depth.value,
                 "peak_depth": self._depth.peak,
             },
+            "breaker_open": self._breaker_open.value,
+            "pool_size": self._pool_size.value,
             "latency_ms": self.latency_ms.snapshot(),
             "queue_wait_ms": self.queue_ms.snapshot(),
             "batch_size": self.batch_size.snapshot(),
+            "checkpoint_age_ms": self.checkpoint_age_ms.snapshot(),
         }
 
     def qps_locked(self, completed: int) -> float:
@@ -210,4 +244,25 @@ class ServeMetrics:
             f"{c['degraded']} degraded"
         )
         lines.append(f"graph updates    : {c['graph_updates']}")
+        ck = s["checkpoint_age_ms"]
+        lines.append(
+            "supervision      : "
+            f"{c['supervisor_restarts']} restarts "
+            f"({c['worker_crashes']} crashes, {c['worker_stalls']} stalls), "
+            f"{c['redeliveries']} redeliveries, {c['stranded']} stranded"
+        )
+        lines.append(
+            "breakers         : "
+            f"{s['breaker_open']} open, {c['breaker_opens']} opens, "
+            f"{c['breaker_rejected']} rejected"
+        )
+        lines.append(
+            "quarantine       : "
+            f"{c['quarantined']} poisoned, {c['poisoned_rejected']} rejected"
+        )
+        lines.append(
+            "checkpoints      : "
+            f"{c['checkpoints']} taken, {c['resumed']} resumed "
+            f"(age p50 {ck['p50']:.1f} ms, max {ck['max']:.1f} ms)"
+        )
         return "\n".join(lines) + "\n"

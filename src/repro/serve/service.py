@@ -45,6 +45,12 @@ from repro.serve.cache import (
     result_key,
 )
 from repro.serve.metrics import ServeMetrics
+from repro.serve.resilience import (
+    CircuitOpenError,
+    PoisonedRequestError,
+    Supervisor,
+    SupervisorConfig,
+)
 
 
 class ResultTimeout(ReproError):
@@ -93,9 +99,15 @@ class MatchResponse:
     error: Optional[str] = None
     """``None`` on success; ``"DEADLINE"`` (expired before execution),
     ``"UNKNOWN_GRAPH"``, an engine failure marker (``"OOM"``, ``"N/A"``,
-    ``"ERR (...)"``), or ``"SHUTDOWN"``."""
+    ``"ERR (...)"``), ``"POISONED (...)"`` (redelivery budget exhausted),
+    ``"STRANDED"`` (worker unjoinable at stop), or ``"SHUTDOWN"``."""
     result_cache_hit: bool = False
     plan_cache_hit: bool = False
+    resumed: bool = False
+    """True when the run was resumed from a mid-match checkpoint after a
+    worker died or wedged (see :mod:`repro.serve.resilience`)."""
+    redeliveries: int = 0
+    """Times the supervisor redelivered this request before it settled."""
     degraded: bool = False
     """True when the deadline ladder pre-degraded the run or canceled it."""
     deadline_missed: bool = False
@@ -201,6 +213,14 @@ class ServeConfig:
     match_config: TDFSConfig = field(default_factory=TDFSConfig)
     """Default engine config for requests without an override."""
     latency_window: int = 16384
+    supervisor: Optional[SupervisorConfig] = None
+    """Enable supervised serving (watchdog + breakers + quarantine +
+    checkpoint/resume; see :mod:`repro.serve.resilience`)."""
+    worker_faults: Optional[object] = None
+    """A :class:`repro.faults.WorkerFaultPlan` driving worker-kill /
+    worker-stall chaos at checkpoint boundaries.  Setting it implies
+    supervision (a default :class:`SupervisorConfig` is used if
+    ``supervisor`` is ``None``)."""
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -246,9 +266,11 @@ class MatchService:
         )
         self._lifecycle = threading.Lock()
         self._pool = None
+        self.supervisor: Optional[Supervisor] = None
         self._next_id = 0
         self._id_lock = threading.Lock()
         self._stopped = False
+        self._draining = False
 
     # ------------------------------------------------------------------ #
     # Graph registry
@@ -382,6 +404,13 @@ class MatchService:
             if self._pool is None:
                 self._pool = WorkerPool(self, self.config.workers)
                 self._pool.start()
+                if (
+                    self.config.supervisor is not None
+                    or self.config.worker_faults is not None
+                ):
+                    self.supervisor = Supervisor(self, self.config.supervisor)
+                    self.supervisor.start()
+                self.metrics.set_pool_size(self.config.workers)
         return self
 
     def stop(self) -> None:
@@ -390,15 +419,71 @@ class MatchService:
             if self._stopped:
                 return
             self._stopped = True
+            if self.supervisor is not None:
+                # Stop the watchdog first so it cannot redeliver into the
+                # queue we are about to close.
+                self.supervisor.stop()
             remaining = self._queue.close()
             for entry in remaining:
                 self.metrics.incr("rejected")
-                entry.ticket._fail(
-                    AdmissionRejected("service stopped before the request ran")
-                )
+                if entry.claim_settle():
+                    entry.ticket._fail(
+                        AdmissionRejected("service stopped before the request ran")
+                    )
             if self._pool is not None:
                 self._pool.join()
+                # Workers that died mid-flight (and were not recovered
+                # before the supervisor stopped) may still hold unsettled
+                # entries; a stop must never leave a ticket hanging.
+                for w in self._pool.workers:
+                    for entry in w.take_inflight():
+                        if not entry.settled:
+                            self._settle_error(entry, "SHUTDOWN")
                 self._pool = None
+            if self.supervisor is not None:
+                self.supervisor.join(timeout=2.0)
+
+    def drain(self, timeout: float = 30.0) -> int:
+        """Gracefully drain: seal intake, let in-flight work finish, stop.
+
+        New submissions are rejected (typed :class:`AdmissionRejected`)
+        while queued and in-flight requests run to completion — supervisor
+        redelivery still lands, so a worker dying mid-drain does not lose
+        its entries.  After ``timeout`` seconds whatever is still queued or
+        running is settled with typed errors by :meth:`stop`.  Returns the
+        number of *stranded* requests (0 = a perfectly clean drain).
+        """
+        self._draining = True
+        self.metrics.incr("drains")
+        self._queue.seal()
+
+        def pending() -> int:
+            # Count queued entries plus unsettled in-flight entries on
+            # EVERY worker — including dead ones: between a worker crash
+            # and the watchdog sweep that redelivers, an entry lives only
+            # in the dead worker's in-flight list.
+            n = self._queue.depth
+            pool = self._pool
+            if pool is not None:
+                for w in pool.workers:
+                    n += w.unsettled_inflight()
+            return n
+
+        deadline = time.monotonic() + timeout
+        stable = 0
+        while time.monotonic() < deadline:
+            if pending() == 0:
+                stable += 1
+                if stable >= 3:  # ride out take->publish races
+                    break
+            else:
+                stable = 0
+            time.sleep(0.005)
+        stranded = pending()
+        for _ in range(stranded):
+            self.metrics.incr("stranded")
+        self.stop()
+        return stranded
 
     @property
     def running(self) -> bool:
@@ -418,8 +503,12 @@ class MatchService:
         """Admit a request; returns immediately with a :class:`MatchTicket`.
 
         Raises :class:`AdmissionRejected` when the request cannot be
-        admitted (queue full and priority too low, or service stopped),
-        :class:`ReproError` for an unknown graph or engine.
+        admitted (queue full and priority too low, service draining, or
+        service stopped), :class:`CircuitOpenError` when the request's
+        ``(graph, plan)`` signature has an open circuit,
+        :class:`PoisonedRequestError` when an identical request was
+        quarantined, and :class:`ReproError` for an unknown graph or
+        engine.
         """
         t_submit = time.monotonic()
         prepared = self._prepare(request)
@@ -430,6 +519,28 @@ class MatchService:
         ticket = MatchTicket(rid)
 
         graph, version = self.resolve_graph(request.graph_id)
+
+        breaker_sig = (request.graph_id, prepared.plan_fp)
+        if self.supervisor is not None:
+            try:
+                self.supervisor.quarantine.check(
+                    (
+                        request.graph_id,
+                        prepared.plan_fp,
+                        request.engine,
+                        prepared.config_fp,
+                    )
+                )
+            except PoisonedRequestError:
+                self.metrics.incr("poisoned_rejected")
+                self.metrics.incr("rejected")
+                raise
+            try:
+                self.supervisor.breaker.check(breaker_sig)
+            except CircuitOpenError:
+                self.metrics.incr("breaker_rejected")
+                self.metrics.incr("rejected")
+                raise
 
         # Fast path: an exact repeat of a cached result answers immediately,
         # without touching the admission queue.
@@ -459,6 +570,10 @@ class MatchService:
                 self.metrics.incr("completed")
                 self.metrics.incr("result_cache_hits")
                 self.metrics.observe_latency(total_ms)
+                if self.supervisor is not None:
+                    # A cache hit is a healthy outcome: it closes a
+                    # half-open circuit's probe like any other success.
+                    self.supervisor.breaker.record_success(breaker_sig)
                 return ticket
 
         if self.config.autostart:
@@ -514,8 +629,36 @@ class MatchService:
             config_fp=config_fingerprint(config),
         )
 
+    def _settle_error(self, entry: QueueEntry, marker: str) -> bool:
+        """Settle ``entry`` with a typed error response — exactly once.
+
+        Shared by workers (batch-level failures), the supervisor
+        (quarantine / redelivery-into-closed-queue), and pool shutdown
+        (stranded entries).  Returns False when somebody else already
+        settled the entry (benign race with a zombie worker).
+        """
+        if not entry.claim_settle():
+            return False
+        prepared = entry.request
+        response = MatchResponse(
+            request_id=entry.request_id,
+            graph_id=prepared.request.graph_id,
+            graph_version=None,
+            engine=prepared.request.engine,
+            query_name=prepared.query_name,
+            error=marker,
+            redeliveries=entry.redeliveries,
+            total_ms=(time.monotonic() - entry.submitted_at) * 1000.0,
+        )
+        entry.ticket._complete(response)
+        self.metrics.incr("completed")
+        self.metrics.incr("errors")
+        return True
+
     def _shed(self, entry: QueueEntry) -> None:
         """Admission-queue callback: a queued request was displaced."""
+        if not entry.claim_settle():
+            return
         self.metrics.incr("shed")
         entry.ticket._fail(
             AdmissionRejected(
@@ -540,6 +683,9 @@ class MatchService:
         snap.update(self.cache_stats())
         snap["graphs"] = self.graphs()
         snap["workers"] = self.config.workers
+        snap["draining"] = self._draining
+        if self.supervisor is not None:
+            snap["resilience"] = self.supervisor.snapshot()
         return snap
 
     def render_metrics(self) -> str:

@@ -15,11 +15,22 @@ and a request running short on budget executes under the trimmed retry
 ladder from :func:`repro.faults.deadline_policy` — one device attempt,
 then straight to the serial CPU fallback — so expiry degrades cleanly
 instead of crashing or hogging the worker.
+
+Supervision hooks (see :mod:`repro.serve.resilience`): every worker
+heartbeats, publishes its in-flight entries, and settles each entry
+through the entry's settle-once claim — so when a worker dies or wedges
+mid-batch, the supervisor can observe exactly which entries were lost,
+redeliver them, and a late "zombie" completion can never double-respond.
+An injected :class:`~repro.faults.WorkerCrash` (the worker-kill chaos
+axis) is deliberately *not* caught by the batch error handler: it kills
+the worker thread, leaving its in-flight entries unsettled for the
+watchdog to recover — exactly like a real worker death would.
 """
 
 from __future__ import annotations
 
 import inspect
+import logging
 import threading
 import time
 from typing import Optional
@@ -27,13 +38,21 @@ from typing import Optional
 from repro.core.engine import make_engine
 from repro.errors import ReproError, UnsupportedError
 from repro.faults.recovery import deadline_policy
+from repro.faults.workers import WorkerCrash
 from repro.query.plan import MatchingPlan
 from repro.serve.batcher import QueueEntry
 from repro.serve.cache import plan_key, result_key
 
+logger = logging.getLogger(__name__)
+
 
 class WorkerPool:
-    """Fixed pool of daemon worker threads attached to one service."""
+    """Fixed pool of daemon worker threads attached to one service.
+
+    Slots are stable: when the supervisor replaces a dead worker, the
+    replacement takes the dead worker's slot (and index), so the pool
+    always presents ``num_workers`` serving positions.
+    """
 
     def __init__(self, service, num_workers: int) -> None:
         self.service = service
@@ -43,9 +62,63 @@ class WorkerPool:
         for w in self.workers:
             w.start()
 
-    def join(self, timeout: Optional[float] = 30.0) -> None:
+    def replace(self, slot: int) -> "Worker":
+        """Respawn a replacement worker into ``slot`` and start it.
+
+        Started *before* it is published into the slot, so a concurrent
+        ``join()`` (service shutdown racing the watchdog) never observes
+        an unstarted thread.
+        """
+        old = self.workers[slot]
+        replacement = Worker(self.service, old.index)
+        replacement.start()
+        self.workers[slot] = replacement
+        return replacement
+
+    def idle(self) -> bool:
+        """True when no live worker holds in-flight entries."""
+        return not any(w.is_alive() and w.has_inflight for w in self.workers)
+
+    def join(self, timeout: Optional[float] = 30.0) -> list:
+        """Join every worker; returns the workers that did NOT stop in time.
+
+        Each unjoined worker is logged, marked abandoned (so it exits at
+        its next loop check instead of serving more work), and every
+        in-flight entry it still holds is settled with a typed
+        ``"STRANDED"`` error — a stop must never leave a caller blocked
+        on a ticket forever.
+        """
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        unjoined: list = []
         for w in self.workers:
-            w.join(timeout)
+            remaining = (
+                None
+                if deadline is None
+                else max(0.0, deadline - time.monotonic())
+            )
+            try:
+                w.join(remaining)
+            except RuntimeError:
+                continue  # replacement mid-spawn; it has nothing in flight
+            if w.is_alive():
+                unjoined.append(w)
+        for w in unjoined:
+            w.abandoned = True
+            stranded = [e for e in w.take_inflight() if not e.settled]
+            logger.warning(
+                "serve: worker %s did not join within %.1fs; "
+                "abandoning it with %d in-flight entr%s",
+                w.name,
+                timeout if timeout is not None else float("inf"),
+                len(stranded),
+                "y" if len(stranded) == 1 else "ies",
+            )
+            for entry in stranded:
+                if self.service._settle_error(entry, "STRANDED"):
+                    self.service.metrics.incr("stranded")
+        return unjoined
 
 
 class Worker(threading.Thread):
@@ -57,31 +130,104 @@ class Worker(threading.Thread):
         self.index = index
         self._engines: dict[str, object] = {}
         self._run_accepts_collect: dict[str, bool] = {}
+        # --- supervision state -------------------------------------- #
+        self.heartbeat = time.monotonic()
+        self.started = False
+        """The thread body actually began (distinguishes a dead worker
+        from one whose ``start()`` has not scheduled it yet)."""
+        self.exited = False
+        """Clean exit (queue closed / abandoned) — not a crash."""
+        self.crashed = False
+        self.abandoned = False
+        """Set by the supervisor (wedged) or ``join`` (unjoinable): the
+        worker must stop serving; its entries were redelivered/settled."""
+        self._inflight_lock = threading.Lock()
+        self._inflight: list[QueueEntry] = []
+
+    # -- supervision protocol ------------------------------------------ #
+
+    def beat(self) -> None:
+        self.heartbeat = time.monotonic()
+
+    def set_inflight(self, entries: list[QueueEntry]) -> None:
+        with self._inflight_lock:
+            self._inflight = list(entries)
+
+    def remove_inflight(self, entry: QueueEntry) -> None:
+        with self._inflight_lock:
+            try:
+                self._inflight.remove(entry)
+            except ValueError:
+                pass  # the supervisor already took it
+
+    def take_inflight(self) -> list[QueueEntry]:
+        """Atomically take ownership of the in-flight list (supervisor)."""
+        with self._inflight_lock:
+            entries, self._inflight = self._inflight, []
+            return entries
+
+    @property
+    def has_inflight(self) -> bool:
+        with self._inflight_lock:
+            return bool(self._inflight)
+
+    def unsettled_inflight(self) -> int:
+        with self._inflight_lock:
+            return sum(1 for e in self._inflight if not e.settled)
 
     # ------------------------------------------------------------------ #
 
     def run(self) -> None:
+        self.started = True
+        self.beat()
+        try:
+            self._loop()
+        except WorkerCrash:
+            # Injected worker death (chaos): in-flight entries stay
+            # unsettled for the watchdog, exactly like a real crash.
+            self.crashed = True
+        except BaseException:
+            self.crashed = True
+        else:
+            self.exited = True
+
+    def _loop(self) -> None:
         queue = self.service._queue
         cfg = self.service.config
         while True:
+            if self.abandoned:
+                return
+            self.beat()
             entry = queue.take(timeout=cfg.poll_interval_s)
             if entry is None:
                 if queue.closed:
                     return
                 continue
+            # Publish immediately: from the instant an entry leaves the
+            # queue it must be visible somewhere (queue or in-flight), or
+            # a concurrent drain/recovery sweep could miss it entirely.
             batch = [entry]
+            self.set_inflight(batch)
             if cfg.max_batch > 1:
                 if cfg.batch_window_ms > 0 and queue.depth:
                     time.sleep(cfg.batch_window_ms / 1000.0)
                 batch.extend(
                     queue.take_matching(entry.batch_key, cfg.max_batch - 1)
                 )
+                self.set_inflight(batch)
             try:
                 self._process_batch(batch)
+            except WorkerCrash:
+                # Die with the in-flight list *published* — that is what
+                # the watchdog recovers and redelivers.
+                raise
             except Exception as exc:  # the worker must survive anything
                 for e in batch:
-                    if not e.ticket.done():
+                    if not e.settled:
                         self._respond_error(e, f"ERR ({type(exc).__name__})")
+                self.set_inflight([])
+            else:
+                self.set_inflight([])
             self.service.metrics.set_queue_depth(queue.depth)
 
     # ------------------------------------------------------------------ #
@@ -99,23 +245,46 @@ class Worker(threading.Thread):
         # Shared candidate build: one directed-edge-array materialization
         # serves every request of the batch (memoized on the graph).
         graph.directed_edge_array()
+        # Per-entry isolation: one request blowing up (or being injected
+        # with a WorkerCrash mid-batch) must not leave a *sibling* entry
+        # unresolved — each entry settles inside its own try, and a crash
+        # leaves only the genuinely-unfinished entries in flight for the
+        # supervisor.
         for e in batch:
-            self._process_one(e, graph, version, len(batch))
+            try:
+                self._process_one(e, graph, version, len(batch))
+            except WorkerCrash:
+                raise
+            except Exception as exc:
+                if not e.settled:
+                    self._respond_error(e, f"ERR ({type(exc).__name__})")
+            if e.settled:
+                self.remove_inflight(e)
 
     def _process_one(
         self, entry: QueueEntry, graph, version: int, batch_size: int
     ) -> None:
         service = self.service
         metrics = service.metrics
+        sup = service.supervisor
         prepared = entry.request
         request = prepared.request
+        self.beat()
         now = time.monotonic()
         queue_ms = (now - entry.submitted_at) * 1000.0
         metrics.observe_queue_wait(queue_ms)
 
+        breaker_sig = (request.graph_id, prepared.plan_fp)
+
         def finish(response) -> None:
+            # Settle-once: a redelivered entry may be finished by both the
+            # zombie and the replacement; only the first response lands.
+            if not entry.claim_settle():
+                return
+            self.remove_inflight(entry)
             response.queue_ms = queue_ms
             response.batch_size = batch_size
+            response.redeliveries = entry.redeliveries
             response.total_ms = (time.monotonic() - entry.submitted_at) * 1000.0
             entry.ticket._complete(response)
             metrics.incr("completed")
@@ -124,6 +293,13 @@ class Worker(threading.Thread):
                 metrics.incr("degraded")
             if response.error is not None and response.error != "DEADLINE":
                 metrics.incr("errors")
+            if sup is not None and not sup.stopped:
+                if response.error is None and not response.deadline_missed:
+                    sup.breaker.record_success(breaker_sig)
+                elif response.error == "DEADLINE" or response.deadline_missed:
+                    sup.breaker.record_failure(breaker_sig)
+                elif response.error not in ("N/A", "UNKNOWN_GRAPH"):
+                    sup.breaker.record_failure(breaker_sig)
 
         from repro.serve.service import MatchResponse
 
@@ -175,11 +351,67 @@ class Worker(threading.Thread):
                 config = config.replace(retry=policy)
 
         engine = self._engine(request.engine, config)
+        supports_resume = bool(getattr(engine, "supports_resume", False))
+
+        # Supervised checkpointing: install the supervisor's hook so the
+        # scheduler pauses every N events, snapshots the frontier, and (in
+        # chaos runs) consults the worker-fault plan.  Collect-matches runs
+        # are excluded — enumeration state is not part of the snapshot.
+        if (
+            sup is not None
+            and not sup.stopped
+            and sup.checkpointing
+            and supports_resume
+            and not request.collect_matches
+        ):
+            config = config.replace(
+                checkpoint_every_events=sup.config.checkpoint_every_events,
+                checkpoint_hook=sup.checkpoint_hook_for(entry, self),
+            )
+            engine = self._engine(request.engine, config)
+
         plan, compile_ms, plan_hit = self._resolve_plan(
             engine, prepared, request, version
         )
         base.compile_ms = compile_ms
         base.plan_cache_hit = plan_hit
+
+        # Checkpoint/resume: a redelivered entry carrying a checkpoint is
+        # resumed from the saved frontier instead of restarted — the base
+        # count plus the re-executed remainder equals the uninterrupted
+        # total exactly.
+        checkpoint = entry.checkpoint
+        if (
+            checkpoint is not None
+            and supports_resume
+            and not request.collect_matches
+        ):
+            metrics.incr("resumed")
+            metrics.observe_checkpoint_age(
+                (time.monotonic() - checkpoint.taken_at) * 1000.0
+            )
+            t0 = time.monotonic()
+            try:
+                result = engine.run_resume(
+                    graph, plan, checkpoint.groups, base_count=checkpoint.count
+                )
+            except UnsupportedError:
+                base.error = "N/A"
+                base.run_ms = (time.monotonic() - t0) * 1000.0
+                finish(base)
+                return
+            except ReproError as exc:
+                base.error = f"ERR ({type(exc).__name__})"
+                base.run_ms = (time.monotonic() - t0) * 1000.0
+                finish(base)
+                return
+            base.run_ms = (time.monotonic() - t0) * 1000.0
+            base.result = result
+            base.error = result.error
+            base.resumed = True
+            finish(base)
+            return
+
         t0 = time.monotonic()
         try:
             if request.collect_matches and self._accepts_collect(request.engine):
@@ -259,18 +491,5 @@ class Worker(threading.Thread):
         return self._run_accepts_collect[name]
 
     def _respond_error(self, entry: QueueEntry, marker: str) -> None:
-        from repro.serve.service import MatchResponse
-
-        prepared = entry.request
-        response = MatchResponse(
-            request_id=entry.request_id,
-            graph_id=prepared.request.graph_id,
-            graph_version=None,
-            engine=prepared.request.engine,
-            query_name=prepared.query_name,
-            error=marker,
-            total_ms=(time.monotonic() - entry.submitted_at) * 1000.0,
-        )
-        entry.ticket._complete(response)
-        self.service.metrics.incr("completed")
-        self.service.metrics.incr("errors")
+        if self.service._settle_error(entry, marker):
+            self.remove_inflight(entry)

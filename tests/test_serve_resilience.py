@@ -1,0 +1,526 @@
+"""Tests for supervised serving (:mod:`repro.serve.resilience`).
+
+Covers the circuit breaker's open/half-open schedule under a fake clock,
+the poison quarantine, settle-exactly-once claiming, and end-to-end chaos:
+workers killed or wedged mid-match with every request settling and every
+resumed count bit-equal to the fault-free baseline.
+
+``REPRO_FAULT_SEED`` (default 0) reseeds the random chaos components so CI
+can sweep multiple fault interleavings over the same assertions.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro import TDFSConfig, match
+from repro.errors import ReproError
+from repro.faults import WorkerFaultKind, WorkerFaultPlan, WorkerFaultSpec
+from repro.serve import (
+    AdmissionRejected,
+    BreakerState,
+    CircuitBreaker,
+    CircuitOpenError,
+    MatchRequest,
+    MatchService,
+    PoisonedRequestError,
+    Quarantine,
+    QueueEntry,
+    ServeConfig,
+    SupervisorConfig,
+)
+
+SEED = int(os.environ.get("REPRO_FAULT_SEED", "0"))
+
+SIG = ("g", "planfp")
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, s: float) -> None:
+        self.now += s
+
+
+def make_breaker(**overrides) -> tuple[CircuitBreaker, FakeClock]:
+    clock = FakeClock()
+    defaults = dict(
+        threshold=3,
+        window_s=30.0,
+        open_s=1.0,
+        max_open_s=30.0,
+        jitter=0.2,
+        seed=SEED,
+        clock=clock,
+    )
+    defaults.update(overrides)
+    return CircuitBreaker(**defaults), clock
+
+
+class TestCircuitBreaker:
+    def test_closed_until_threshold(self):
+        b, _ = make_breaker()
+        b.record_failure(SIG)
+        b.record_failure(SIG)
+        assert b.state(SIG) is BreakerState.CLOSED
+        b.check(SIG)  # still admitting
+        b.record_failure(SIG)
+        assert b.state(SIG) is BreakerState.OPEN
+        assert b.total_opens == 1
+
+    def test_open_rejects_until_backoff_elapses(self):
+        b, clock = make_breaker()
+        for _ in range(3):
+            b.record_failure(SIG)
+        with pytest.raises(CircuitOpenError) as exc:
+            b.check(SIG)
+        assert exc.value.signature == SIG
+        assert 0.0 < exc.value.retry_after_s <= 1.2  # jitter <= 20%
+        assert b.total_rejections == 1
+
+    def test_half_open_admits_single_probe(self):
+        b, clock = make_breaker()
+        for _ in range(3):
+            b.record_failure(SIG)
+        clock.advance(1.3)  # past base 1.0s even at +20% jitter
+        b.check(SIG)  # the probe: no raise, transitions to HALF_OPEN
+        assert b.state(SIG) is BreakerState.HALF_OPEN
+        with pytest.raises(CircuitOpenError, match="probe already in flight"):
+            b.check(SIG)
+        b.record_success(SIG)
+        assert b.state(SIG) is BreakerState.CLOSED
+        b.check(SIG)  # closed again: admits freely
+
+    def test_probe_failure_reopens_with_doubled_backoff(self):
+        b, clock = make_breaker()
+        for _ in range(3):
+            b.record_failure(SIG)
+        first = b._breakers[SIG].open_for_s
+        clock.advance(1.3)
+        b.check(SIG)
+        b.record_failure(SIG)  # probe failed
+        assert b.state(SIG) is BreakerState.OPEN
+        second = b._breakers[SIG].open_for_s
+        # Base doubles 1.0 -> 2.0; +-20% jitter cannot mask a 2x step.
+        assert second > first
+        assert second >= 2.0 * 0.8
+
+    def test_backoff_caps_at_max_open_s(self):
+        b, clock = make_breaker(jitter=0.0, max_open_s=4.0)
+        for _ in range(3):
+            b.record_failure(SIG)
+        for _ in range(6):  # keep failing every probe: 1, 2, 4, 4, ...
+            clock.advance(b._breakers[SIG].open_for_s + 0.01)
+            b.check(SIG)
+            b.record_failure(SIG)
+        assert b._breakers[SIG].open_for_s == 4.0
+
+    def test_jittered_backoff_is_seed_deterministic(self):
+        b1, _ = make_breaker(seed=1)
+        b2, _ = make_breaker(seed=1)
+        b3, _ = make_breaker(seed=2)
+        vals1 = [b1._jittered_open_s(SIG, k) for k in (1, 2, 3)]
+        vals2 = [b2._jittered_open_s(SIG, k) for k in (1, 2, 3)]
+        vals3 = [b3._jittered_open_s(SIG, k) for k in (1, 2, 3)]
+        assert vals1 == vals2
+        assert vals1 != vals3
+        for k, v in zip((1, 2, 3), vals1):
+            base = min(30.0, 1.0 * 2 ** (k - 1))
+            assert base * 0.8 <= v <= base * 1.2
+
+    def test_straggler_success_does_not_close_open_circuit(self):
+        b, _ = make_breaker()
+        for _ in range(3):
+            b.record_failure(SIG)
+        b.record_success(SIG)  # a redelivered entry finishing late
+        assert b.state(SIG) is BreakerState.OPEN
+
+    def test_signatures_are_independent(self):
+        b, _ = make_breaker()
+        other = ("g", "otherfp")
+        for _ in range(3):
+            b.record_failure(SIG)
+        assert b.state(SIG) is BreakerState.OPEN
+        assert b.state(other) is BreakerState.CLOSED
+        b.check(other)
+        assert b.open_count() == 1
+
+    def test_transition_callback_may_reenter_breaker(self):
+        """Regression: callbacks read gauges (open_count) and must not
+        deadlock against the breaker's own lock."""
+        events = []
+
+        def on_transition(sig, old, new):
+            events.append((sig, old, new, b.open_count()))
+
+        clock = FakeClock()
+        b = CircuitBreaker(
+            threshold=1, open_s=1.0, jitter=0.0, clock=clock,
+            on_transition=on_transition,
+        )
+        t = threading.Thread(target=lambda: b.record_failure(SIG), daemon=True)
+        t.start()
+        t.join(5.0)
+        assert not t.is_alive(), "breaker deadlocked in on_transition"
+        assert events == [(SIG, BreakerState.CLOSED, BreakerState.OPEN, 1)]
+
+
+class TestQuarantine:
+    FP = ("g", "planfp", "tdfs", "cfgfp")
+
+    def test_poison_then_reject(self):
+        q = Quarantine()
+        q.check(self.FP)  # unknown: no raise
+        q.poison(self.FP, "POISONED (worker-crash x3)", request_id=7)
+        with pytest.raises(PoisonedRequestError) as exc:
+            q.check(self.FP)
+        assert exc.value.fingerprint == self.FP
+        assert "worker-crash" in exc.value.failure
+        assert exc.value.request_id == 7
+        assert q.total_poisoned == 1
+        assert q.total_rejections == 1
+
+    def test_release_lifts_quarantine(self):
+        q = Quarantine()
+        q.poison(self.FP, "POISONED", request_id=1)
+        assert q.release(self.FP)
+        q.check(self.FP)  # no raise
+        assert not q.release(self.FP)
+
+    def test_capacity_evicts_oldest(self):
+        q = Quarantine(capacity=2)
+        fps = [("g", f"p{i}", "tdfs", "c") for i in range(3)]
+        for i, fp in enumerate(fps):
+            q.poison(fp, "POISONED", request_id=i)
+        q.check(fps[0])  # evicted: admitted again
+        with pytest.raises(PoisonedRequestError):
+            q.check(fps[2])
+        assert len(q) == 2
+
+
+class TestClaimSettle:
+    @staticmethod
+    def make_entry() -> QueueEntry:
+        return QueueEntry(
+            request=None, ticket=None, request_id=1, priority=0,
+            batch_key="k", submitted_at=0.0,
+        )
+
+    def test_single_winner(self):
+        e = self.make_entry()
+        assert not e.settled
+        assert e.claim_settle()
+        assert e.settled
+        assert not e.claim_settle()
+
+    def test_racing_claims_have_one_winner(self):
+        e = self.make_entry()
+        wins = []
+        barrier = threading.Barrier(8)
+
+        def racer():
+            barrier.wait()
+            if e.claim_settle():
+                wins.append(1)
+
+        threads = [threading.Thread(target=racer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(wins) == 1
+
+
+# --------------------------------------------------------------------------- #
+# End-to-end chaos
+# --------------------------------------------------------------------------- #
+
+
+def make_supervised(
+    fast_config,
+    plan: WorkerFaultPlan,
+    *,
+    workers: int = 2,
+    checkpoint_every_events: int = 30,
+    heartbeat_timeout_s: float = 0.4,
+    max_redeliveries: int = 2,
+    **sup_overrides,
+) -> MatchService:
+    sup = SupervisorConfig(
+        watchdog_interval_s=0.02,
+        heartbeat_timeout_s=heartbeat_timeout_s,
+        max_redeliveries=max_redeliveries,
+        checkpoint_every_events=checkpoint_every_events,
+        seed=SEED,
+        **sup_overrides,
+    )
+    return MatchService(ServeConfig(
+        workers=workers,
+        enable_result_cache=False,
+        match_config=fast_config,
+        supervisor=sup,
+        worker_faults=plan,
+    ))
+
+
+def submit_uncached(svc, pattern: str, **kwargs):
+    return svc.submit(MatchRequest(
+        graph_id="g", query=pattern, use_result_cache=False, **kwargs
+    ))
+
+
+class TestKillResume:
+    def test_kill_mid_match_resumes_to_exact_count(self, small_plc, fast_config):
+        baseline = match(small_plc, "P1", config=fast_config).count
+        plan = WorkerFaultPlan(schedule=(
+            WorkerFaultSpec(WorkerFaultKind.KILL, request_id=1, at_checkpoint=2),
+        ))
+        with make_supervised(fast_config, plan) as svc:
+            svc.register_graph("g", small_plc)
+            resp = submit_uncached(svc, "P1").result(timeout=60.0)
+            assert resp.ok, resp.error
+            assert resp.count == baseline
+            assert resp.resumed
+            assert resp.redeliveries == 1
+            m = svc.metrics
+            assert m.get("worker_crashes") == 1
+            assert m.get("supervisor_restarts") == 1
+            assert m.get("redeliveries") == 1
+            assert m.get("resumed") == 1
+            snap = svc.snapshot()["resilience"]
+            assert snap["restarts"] == 1
+            assert snap["checkpoints_taken"] >= 1
+
+    def test_stall_mid_match_is_abandoned_and_redelivered(
+        self, small_plc, fast_config
+    ):
+        baseline = match(small_plc, "P1", config=fast_config).count
+        plan = WorkerFaultPlan(schedule=(
+            WorkerFaultSpec(
+                WorkerFaultKind.STALL, request_id=1, at_checkpoint=2,
+                stall_s=1.2,
+            ),
+        ))
+        with make_supervised(fast_config, plan, heartbeat_timeout_s=0.3) as svc:
+            svc.register_graph("g", small_plc)
+            resp = submit_uncached(svc, "P1").result(timeout=60.0)
+            assert resp.ok, resp.error
+            assert resp.count == baseline
+            assert resp.redeliveries == 1
+            assert svc.metrics.get("worker_stalls") == 1
+
+    def test_resumed_count_equals_uninterrupted_across_patterns(
+        self, small_plc, fast_config
+    ):
+        """Kill at a later checkpoint on a different pattern."""
+        baseline = match(small_plc, "P2", config=fast_config).count
+        plan = WorkerFaultPlan(schedule=(
+            WorkerFaultSpec(WorkerFaultKind.KILL, request_id=1, at_checkpoint=4),
+        ))
+        with make_supervised(fast_config, plan) as svc:
+            svc.register_graph("g", small_plc)
+            resp = submit_uncached(svc, "P2").result(timeout=60.0)
+            assert resp.ok, resp.error
+            assert resp.count == baseline
+            assert resp.resumed
+
+
+class TestQuarantineE2E:
+    def test_redelivery_exhaustion_poisons_and_rejects_repeats(
+        self, small_plc, fast_config
+    ):
+        # Kill every delivery: budget of 1 redelivery is exhausted fast.
+        plan = WorkerFaultPlan(schedule=(
+            WorkerFaultSpec(
+                WorkerFaultKind.KILL, request_id=1, at_checkpoint=1,
+                delivery=None,
+            ),
+        ))
+        with make_supervised(fast_config, plan, max_redeliveries=1) as svc:
+            svc.register_graph("g", small_plc)
+            resp = submit_uncached(svc, "P1").result(timeout=60.0)
+            assert resp.error is not None
+            assert resp.error.startswith("POISONED")
+            assert "worker-crash" in resp.error
+            with pytest.raises(PoisonedRequestError):
+                submit_uncached(svc, "P1")
+            m = svc.metrics
+            assert m.get("quarantined") == 1
+            assert m.get("poisoned_rejected") == 1
+            assert len(svc.supervisor.quarantine) == 1
+            # A different pattern is a different fingerprint: unaffected.
+            ok = submit_uncached(svc, "P3").result(timeout=60.0)
+            assert ok.ok, ok.error
+
+    def test_breaker_opens_under_repeated_kills(self, small_plc, fast_config):
+        plan = WorkerFaultPlan(schedule=(
+            WorkerFaultSpec(
+                WorkerFaultKind.KILL, request_id=1, at_checkpoint=1,
+                delivery=None,
+            ),
+        ))
+        with make_supervised(
+            fast_config, plan, max_redeliveries=3,
+            breaker_threshold=2, breaker_open_s=30.0,
+        ) as svc:
+            svc.register_graph("g", small_plc)
+            resp = submit_uncached(svc, "P1").result(timeout=60.0)
+            assert resp.error is not None and resp.error.startswith("POISONED")
+            assert svc.metrics.get("breaker_opens") >= 1
+            # Same (graph, plan) signature, different config fingerprint:
+            # clears quarantine but hits the open breaker at submit.
+            with pytest.raises(CircuitOpenError):
+                svc.submit(MatchRequest(
+                    graph_id="g", query="P1", use_result_cache=False,
+                    config=fast_config.replace(num_warps=4),
+                ))
+            assert svc.metrics.get("breaker_rejected") == 1
+
+
+class TestSeededChaos:
+    def test_all_requests_settle_with_exact_counts(self, small_plc, fast_config):
+        patterns = ["P1", "P2", "P3"]
+        baselines = {
+            p: match(small_plc, p, config=fast_config).count for p in patterns
+        }
+        # Random kills/stalls hit only the first delivery
+        # (max_fault_deliveries=1), so every request must settle OK and
+        # every count must equal the fault-free baseline bit-for-bit.
+        plan = WorkerFaultPlan(
+            seed=SEED, kill_rate=0.4, stall_rate=0.1, stall_s=1.0
+        )
+        n = 9
+        with make_supervised(fast_config, plan) as svc:
+            svc.register_graph("g", small_plc)
+            tickets = [
+                (patterns[i % len(patterns)],
+                 submit_uncached(svc, patterns[i % len(patterns)]))
+                for i in range(n)
+            ]
+            responses = [(p, t.result(timeout=120.0)) for p, t in tickets]
+            m = svc.metrics
+            assert m.get("submitted") == n
+            assert m.get("completed") == n
+            assert m.get("quarantined") == 0
+            assert m.get("stranded") == 0
+            crashes = m.get("worker_crashes")
+            stalls = m.get("worker_stalls")
+            assert m.get("supervisor_restarts") == crashes + stalls
+        for p, resp in responses:
+            assert resp.ok, f"{p}: {resp.error}"
+            assert resp.count == baselines[p], p
+
+    def test_chaos_metrics_render(self, small_plc, fast_config):
+        plan = WorkerFaultPlan(schedule=(
+            WorkerFaultSpec(WorkerFaultKind.KILL, request_id=1, at_checkpoint=1),
+        ))
+        with make_supervised(fast_config, plan) as svc:
+            svc.register_graph("g", small_plc)
+            submit_uncached(svc, "P1").result(timeout=60.0)
+            text = svc.render_metrics()
+        assert "supervision" in text
+        assert "breakers" in text
+        assert "quarantine" in text
+        assert "checkpoints" in text
+
+
+class TestDrain:
+    def test_drain_settles_everything(self, small_plc, fast_config):
+        plan = WorkerFaultPlan()  # unarmed: pure drain semantics
+        with make_supervised(fast_config, plan) as svc:
+            svc.register_graph("g", small_plc)
+            tickets = [submit_uncached(svc, "P1") for _ in range(4)]
+            stranded = svc.drain(timeout=60.0)
+            assert stranded == 0
+            assert all(t.done() for t in tickets)
+            assert not svc.running
+            with pytest.raises(ReproError):  # stopped (or sealed) service
+                submit_uncached(svc, "P1")
+
+    def test_sealed_queue_still_accepts_redelivery(self, small_plc, fast_config):
+        """A drain that races a crash must not lose the in-flight entry."""
+        plan = WorkerFaultPlan(schedule=(
+            WorkerFaultSpec(WorkerFaultKind.KILL, request_id=1, at_checkpoint=2),
+        ))
+        with make_supervised(fast_config, plan) as svc:
+            svc.register_graph("g", small_plc)
+            ticket = submit_uncached(svc, "P1")
+            stranded = svc.drain(timeout=60.0)
+            assert stranded == 0
+            resp = ticket.result(timeout=1.0)
+            assert resp.ok, resp.error
+
+
+class TestStranded:
+    def test_unjoinable_worker_settles_inflight_as_stranded(
+        self, small_plc, fast_config
+    ):
+        # Wedge the worker well past the join timeout, with a heartbeat
+        # timeout too long for the watchdog to rescue it first.
+        plan = WorkerFaultPlan(schedule=(
+            WorkerFaultSpec(
+                WorkerFaultKind.STALL, request_id=1, at_checkpoint=1,
+                stall_s=2.0,
+            ),
+        ))
+        with make_supervised(
+            fast_config, plan, workers=1, heartbeat_timeout_s=30.0
+        ) as svc:
+            svc.register_graph("g", small_plc)
+            ticket = submit_uncached(svc, "P1")
+            deadline = time.monotonic() + 10.0
+            while (
+                svc.metrics.get("checkpoints") == 0
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.01)  # wait for the worker to enter the stall
+            unjoined = svc._pool.join(timeout=0.2)
+            assert len(unjoined) == 1
+            assert unjoined[0].abandoned
+            resp = ticket.result(timeout=1.0)
+            assert resp.error == "STRANDED"
+            assert svc.metrics.get("stranded") == 1
+
+
+class TestMidBatchIsolation:
+    def test_sibling_entries_survive_a_mid_batch_crash(
+        self, small_plc, fast_config, monkeypatch
+    ):
+        """Regression: an exception processing one batch entry must not
+        strand its siblings — each settles exactly once."""
+        from repro.serve.workers import Worker
+
+        original = Worker._process_one
+
+        def exploding(self, entry, graph, version, batch_size):
+            if entry.request_id == 1:
+                raise RuntimeError("boom mid-batch")
+            return original(self, entry, graph, version, batch_size)
+
+        monkeypatch.setattr(Worker, "_process_one", exploding)
+        baseline = match(small_plc, "P1", config=fast_config).count
+        svc = MatchService(ServeConfig(
+            workers=1, max_batch=4, batch_window_ms=50.0, autostart=False,
+            enable_result_cache=False, match_config=fast_config,
+        ))
+        svc.register_graph("g", small_plc)
+        t1 = submit_uncached(svc, "P1")
+        t2 = submit_uncached(svc, "P1")  # same batch key: rides along
+        svc.start()
+        try:
+            r1 = t1.result(timeout=60.0)
+            r2 = t2.result(timeout=60.0)
+        finally:
+            svc.stop()
+        assert r1.error == "ERR (RuntimeError)"
+        assert r2.ok, r2.error
+        assert r2.count == baseline
+        assert svc.metrics.get("completed") == 2
