@@ -19,7 +19,8 @@ def test_table1_datasets(benchmark, report):
             "Table I: datasets (stand-in vs paper original)",
             [
                 "dataset", "cat", "|V|", "|E|", "avg", "d_max",
-                "|L|", "paper |V|", "paper |E|", "paper d_max",
+                "|L|", "lf_max", "lf_min", "lab_avg_d",
+                "paper |V|", "paper |E|", "paper d_max",
             ],
         )
         for name, spec in DATASETS.items():
@@ -32,6 +33,9 @@ def test_table1_datasets(benchmark, report):
                 round(stats.avg_degree, 1),
                 stats.max_degree,
                 stats.num_labels,
+                round(stats.max_label_freq, 3),
+                round(stats.min_label_freq, 3),
+                round(stats.max_label_avg_degree, 1),
                 spec.paper.num_vertices,
                 spec.paper.num_edges,
                 spec.paper.max_degree,

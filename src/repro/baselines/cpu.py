@@ -124,9 +124,15 @@ class CPUEngine:
     def __init__(self, config: Optional[TDFSConfig] = None) -> None:
         self.config = config or TDFSConfig()
 
-    def compile(self, query: Union[QueryGraph, MatchingPlan]) -> MatchingPlan:
+    def compile(
+        self,
+        query: Union[QueryGraph, MatchingPlan],
+        graph: Optional[CSRGraph] = None,
+    ) -> MatchingPlan:
         """Compile ``query`` exactly as :meth:`run` would (reuse is a
-        device-side optimization; the serial reference never applies it)."""
+        device-side optimization; the serial reference never applies it).
+        ``graph`` is accepted for interface parity with
+        :meth:`TDFSEngine.compile`; the reference ignores the planner."""
         if isinstance(query, MatchingPlan):
             return query
         return compile_plan(

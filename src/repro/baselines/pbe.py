@@ -55,8 +55,13 @@ class PBEEngine:
 
     # ------------------------------------------------------------------ #
 
-    def compile(self, query: Union[QueryGraph, MatchingPlan]) -> MatchingPlan:
-        """Compile ``query`` exactly as :meth:`run` would."""
+    def compile(
+        self,
+        query: Union[QueryGraph, MatchingPlan],
+        graph: Optional[CSRGraph] = None,
+    ) -> MatchingPlan:
+        """Compile ``query`` exactly as :meth:`run` would (``graph`` is
+        accepted for interface parity; PBE ignores the planner)."""
         if isinstance(query, MatchingPlan):
             return query
         return compile_plan(query, enable_symmetry=True, enable_reuse=False)

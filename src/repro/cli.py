@@ -80,8 +80,58 @@ def _cmd_patterns(_args: argparse.Namespace) -> int:
 
 
 def _cmd_plan(args: argparse.Namespace) -> int:
-    plan = compile_plan(get_pattern(args.pattern))
-    print(plan.describe())
+    query = get_pattern(args.pattern)
+    if not args.explain:
+        plan = compile_plan(query)
+        print(plan.describe())
+        return 0
+
+    # --explain: run the cost-based planner against a dataset and print the
+    # ranked portfolio (estimated vs optionally measured virtual cycles).
+    from repro.core.engine import match
+    from repro.planner import PlannerConfig, plan_query
+    from repro.query.ordering import choose_matching_order
+
+    graph = load_dataset(args.dataset, num_labels=args.labels)
+    planner = PlannerConfig(
+        beam_width=args.beam,
+        portfolio_size=args.top,
+        samples=args.samples,
+        descents=args.descents,
+        seed=args.seed,
+    )
+    t0 = time.perf_counter()
+    # Scale predicted work down to wall cycles at the default warp count so
+    # est_cycles lines up with what --measure reports.
+    portfolio = plan_query(
+        graph, query, planner, parallelism=TDFSConfig().num_warps
+    )
+    plan_ms = (time.perf_counter() - t0) * 1000.0
+    p = portfolio.profile
+    print(
+        f"graph {graph.name}: |V|={p.num_vertices} |E|={p.num_edges} "
+        f"avg_d={p.avg_degree:.1f} sb_d={p.sb_degree:.1f} "
+        f"closure={p.closure_rate:.3f} labels={len(p.label_freq)}"
+    )
+    greedy_order = tuple(choose_matching_order(query))
+    print(f"legacy greedy order: {list(greedy_order)}  (planned in {plan_ms:.1f} ms)")
+    print(portfolio.describe())
+    if args.measure:
+        print("measured (virtual cycles):")
+        for rank, choice in enumerate(portfolio.choices, start=1):
+            result = match(graph, choice.plan)
+            err = (
+                abs(choice.est_cycles - result.elapsed_cycles)
+                / result.elapsed_cycles
+                if result.elapsed_cycles
+                else 0.0
+            )
+            marker = " (greedy)" if choice.order == greedy_order else ""
+            print(
+                f"  #{rank} order={list(choice.order)} "
+                f"count={result.count} cycles={result.elapsed_cycles:,} "
+                f"est_error={err:.2f}{marker}"
+            )
     return 0
 
 
@@ -539,6 +589,37 @@ def build_parser() -> argparse.ArgumentParser:
 
     plan_p = sub.add_parser("plan", help="show a compiled matching plan")
     plan_p.add_argument("pattern", help="pattern name, e.g. P4")
+    plan_p.add_argument(
+        "--explain",
+        action="store_true",
+        help="run the cost-based planner and print the ranked plan portfolio",
+    )
+    plan_p.add_argument(
+        "--dataset",
+        default="dblp",
+        choices=list(DATASETS),
+        help="data graph for --explain statistics (default: dblp)",
+    )
+    plan_p.add_argument(
+        "--labels",
+        type=int,
+        default=None,
+        help="attach N synthetic labels to the dataset (--explain only)",
+    )
+    plan_p.add_argument(
+        "--measure",
+        action="store_true",
+        help="additionally run every portfolio plan and report actual cycles",
+    )
+    plan_p.add_argument("--top", type=int, default=3, help="portfolio size")
+    plan_p.add_argument("--beam", type=int, default=16, help="beam width")
+    plan_p.add_argument(
+        "--samples", type=int, default=512, help="wedge samples for the profile"
+    )
+    plan_p.add_argument(
+        "--descents", type=int, default=24, help="sampling-refiner descents"
+    )
+    plan_p.add_argument("--seed", type=int, default=0, help="planner seed")
     plan_p.set_defaults(func=_cmd_plan)
 
     run_p = sub.add_parser("run", help="run one matching job")

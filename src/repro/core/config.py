@@ -18,6 +18,7 @@ if TYPE_CHECKING:  # avoid a runtime import cycle (faults → … → config)
     from repro.faults.plan import FaultPlan, RetryPolicy
     from repro.kernels import KernelBackend
     from repro.obs import Observability
+    from repro.planner.search import PlannerConfig
 from repro.gpusim.costmodel import CostModel, CYCLES_PER_MS, DEFAULT_COST_MODEL
 from repro.gpusim.device import DEFAULT_NUM_WARPS
 
@@ -142,6 +143,14 @@ class TDFSConfig:
     boundary (requires ``checkpoint_every_events > 0``).  May raise to
     abort the run — the worker-kill chaos axis does exactly that."""
 
+    planner: Optional["PlannerConfig"] = None
+    """Cost-based plan search (see :mod:`repro.planner`).  ``None`` (the
+    default) keeps the legacy greedy matching order — emitted plans are
+    bit-for-bit identical to pre-planner behaviour.  Set to a
+    :class:`~repro.planner.search.PlannerConfig` to pick orders from a
+    searched, cost-ranked portfolio (requires the engine to see the data
+    graph at compile time; plan-only entry points fall back to greedy)."""
+
     # ------------------------------------------------------------------ #
 
     def __post_init__(self) -> None:
@@ -166,6 +175,13 @@ class TDFSConfig:
                 raise ReproError(
                     f"unknown kernel backend {self.kernel_backend!r}; "
                     f"available: {', '.join(BACKEND_NAMES)}"
+                )
+        if self.planner is not None:
+            from repro.planner.search import PlannerConfig
+
+            if not isinstance(self.planner, PlannerConfig):
+                raise ReproError(
+                    "planner must be a repro.planner.PlannerConfig or None"
                 )
 
     @property

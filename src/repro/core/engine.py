@@ -71,7 +71,7 @@ class TDFSEngine:
         full embeddings into ``result.matches`` (tuples of data vertices
         indexed by query vertex id).
         """
-        plan = self._resolve_plan(query)
+        plan = self.compile(query, graph)
         if plan.is_labeled and not graph.is_labeled:
             raise UnsupportedError(
                 "labeled query on an unlabeled data graph; attach labels first"
@@ -107,7 +107,9 @@ class TDFSEngine:
         """
         from repro.faults.recovery import pending_rows
 
-        plan = self._resolve_plan(query)
+        # Deterministic planner ⇒ same plan choice as the original run, so
+        # snapshot rows keep their meaning (positions in the same order).
+        plan = self.compile(query, graph)
         edges = np.empty((0, 2), dtype=np.int64)
         result = self._run_single(
             graph, plan, edges, gpu_name="gpu0", resume=list(groups)
@@ -118,14 +120,53 @@ class TDFSEngine:
         result.resume_base_count = int(base_count)
         return result
 
-    def compile(self, query: Union[QueryGraph, MatchingPlan]) -> MatchingPlan:
+    def compile(
+        self,
+        query: Union[QueryGraph, MatchingPlan],
+        graph: Optional[CSRGraph] = None,
+    ) -> MatchingPlan:
         """Compile ``query`` exactly as :meth:`run` would.
 
         Public so callers (the serving layer's plan cache, the CLI's
         compile-time report) can separate plan compilation from matching;
         precompiled plans pass through unchanged.
+
+        With ``config.planner`` set *and* the data graph provided, the
+        matching order comes from the cost-based planner's best portfolio
+        member (see :meth:`plan_portfolio`); otherwise — planner off, no
+        graph, or a precompiled plan — the legacy greedy path runs,
+        emitting bit-identical plans to pre-planner behaviour.
         """
+        if (
+            graph is not None
+            and self.config.planner is not None
+            and isinstance(query, QueryGraph)
+        ):
+            return self.plan_portfolio(graph, query).best.plan
         return self._resolve_plan(query)
+
+    def plan_portfolio(self, graph: CSRGraph, query: QueryGraph):
+        """Cost-ranked :class:`~repro.planner.search.PlanPortfolio` for
+        ``query`` on ``graph`` under this engine's symmetry/reuse flags.
+
+        Requires ``config.planner``; every member is a valid plan with the
+        same match count, so callers may run any of them.
+        """
+        from repro.planner.search import plan_query
+
+        if self.config.planner is None:
+            raise UnsupportedError(
+                "plan_portfolio requires config.planner to be set"
+            )
+        return plan_query(
+            graph,
+            query,
+            planner=self.config.planner,
+            cost=self.config.cost,
+            enable_symmetry=self.config.enable_symmetry,
+            enable_reuse=self.config.enable_reuse,
+            parallelism=self.config.num_warps,
+        )
 
     def _resolve_plan(self, query: Union[QueryGraph, MatchingPlan]) -> MatchingPlan:
         if isinstance(query, MatchingPlan):

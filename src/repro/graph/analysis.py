@@ -23,6 +23,14 @@ class GraphStats:
     """``d_max / avg_degree`` — the skew measure that predicts straggler
     tasks (paper Section IV-B: PBE gets closer to T-DFS "when degree
     distribution is more biased (as measured by d_max)")."""
+    max_label_freq: float = 1.0
+    """Frequency of the most common vertex label (1.0 when unlabeled) —
+    the planner's worst-case label selectivity."""
+    min_label_freq: float = 1.0
+    """Frequency of the rarest vertex label (1.0 when unlabeled)."""
+    max_label_avg_degree: float = 0.0
+    """Highest per-label mean degree (the global mean when unlabeled) —
+    flags label classes that concentrate the hubs."""
 
     def row(self) -> tuple:
         """Row tuple for tabular reports."""
@@ -34,12 +42,30 @@ class GraphStats:
             self.max_degree,
             self.num_labels,
             round(self.degree_skew, 1),
+            round(self.max_label_freq, 3),
+            round(self.min_label_freq, 3),
+            round(self.max_label_avg_degree, 1),
         )
 
 
 def compute_stats(graph: CSRGraph) -> GraphStats:
-    """Compute :class:`GraphStats` for a graph."""
+    """Compute :class:`GraphStats` for a graph.
+
+    The label columns feed the planner's cardinality estimator: label
+    frequencies bound candidate-set selectivity and per-label mean degrees
+    expose which label classes concentrate high-degree vertices.
+    """
     avg = graph.avg_degree
+    n = graph.num_vertices
+    max_freq = min_freq = 1.0
+    max_label_avg = avg
+    if graph.is_labeled and n and graph.labels is not None:
+        labels, counts = np.unique(graph.labels, return_counts=True)
+        max_freq = float(counts.max()) / n
+        min_freq = float(counts.min()) / n
+        max_label_avg = max(
+            float(graph.degrees[graph.labels == lab].mean()) for lab in labels
+        )
     return GraphStats(
         name=graph.name,
         num_vertices=graph.num_vertices,
@@ -48,6 +74,9 @@ def compute_stats(graph: CSRGraph) -> GraphStats:
         max_degree=graph.max_degree,
         num_labels=graph.num_labels,
         degree_skew=(graph.max_degree / avg) if avg > 0 else 0.0,
+        max_label_freq=max_freq,
+        min_label_freq=min_freq,
+        max_label_avg_degree=max_label_avg,
     )
 
 

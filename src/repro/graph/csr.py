@@ -52,6 +52,7 @@ class CSRGraph:
         "_degrees",
         "_max_degree",
         "_dir_edges",
+        "_profile_cache",
     )
 
     def __init__(
@@ -75,6 +76,10 @@ class CSRGraph:
         self._degrees = np.diff(self.row_ptr).astype(np.int64)
         self._max_degree = int(self._degrees.max()) if self._degrees.size else 0
         self._dir_edges: Optional[np.ndarray] = None
+        # Planner statistics cache, keyed (seed, samples); owned by
+        # repro.planner.stats.profile_graph.  Safe because the graph is
+        # immutable — a replaced graph is a new instance.
+        self._profile_cache: Optional[dict] = None
         if validate:
             self._validate()
 

@@ -54,9 +54,11 @@ def choose_matching_order(query: QueryGraph) -> list[int]:
             if best_key is None or key > best_key:
                 best, best_key = u, key
         if best is None:
+            unreachable = sorted(u for u in range(k) if u not in placed)
             raise PlanError(
-                f"query {query.name!r} has no connected extension; "
-                "is the graph connected?"
+                f"query {query.name!r} is disconnected: vertices "
+                f"{unreachable} are unreachable from the ordered prefix "
+                f"{order}; matching orders require a connected query"
             )
         order.append(best)
         placed.add(best)

@@ -110,6 +110,23 @@ class LRUCache:
             self._invalidations += len(stale)
             return len(stale)
 
+    def invalidate_matching(self, graph_id: str, plan_fp: str) -> int:
+        """Drop every entry for one ``(graph_id, plan_fp)`` pair.
+
+        Used by the planner's feedback loop: when runtime observations
+        re-rank a plan portfolio, the cached plan for that query must go —
+        across *all* versions and configs — so the next request re-resolves
+        through the feedback store instead of serving the demoted order.
+        """
+        with self._lock:
+            stale = [
+                k for k in self._entries if k[0] == graph_id and k[2] == plan_fp
+            ]
+            for k in stale:
+                del self._entries[k]
+            self._invalidations += len(stale)
+            return len(stale)
+
     def clear(self) -> None:
         with self._lock:
             self._invalidations += len(self._entries)

@@ -30,6 +30,10 @@ LATENCY_BUCKETS_MS = (
 #: Fixed bucket boundaries for batch-size histograms.
 BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
 
+#: Bucket boundaries for the planner's relative estimator error
+#: ``|est - actual| / actual`` (0.1 = within 10 %, 10 = off by 10×).
+PLAN_ERROR_BUCKETS = (0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 100.0)
+
 
 class Histogram(_ObsHistogram):
     """Obs histogram with serve defaults (ms buckets, big window)."""
@@ -62,6 +66,9 @@ COUNTERS = (
     "degraded",
     "batches",
     "graph_updates",
+    # -- planner feedback (repro.planner) ------------------------------- #
+    "planner_feedback",
+    "plan_reranks",
     # -- supervision (repro.serve.resilience) -------------------------- #
     "supervisor_restarts",
     "worker_crashes",
@@ -114,6 +121,12 @@ class ServeMetrics:
         progress a crash could cost at the configured cadence)."""
         self._breaker_open = self.registry.gauge(_PREFIX + "breaker_open")
         self._pool_size = self.registry.gauge(_PREFIX + "pool_size")
+        self.plan_error = self.registry.histogram(
+            _PREFIX + "planner_est_error",
+            buckets=PLAN_ERROR_BUCKETS,
+            window=4096,
+        )
+        """Relative estimator-vs-actual cycle error per planner-fed run."""
         self._started = time.monotonic()
 
     # ------------------------------------------------------------------ #
@@ -140,6 +153,9 @@ class ServeMetrics:
 
     def observe_checkpoint_age(self, ms: float) -> None:
         self.checkpoint_age_ms.observe(ms)
+
+    def observe_plan_error(self, rel_error: float) -> None:
+        self.plan_error.observe(rel_error)
 
     def set_breaker_open(self, n: int) -> None:
         self._breaker_open.set(n)
@@ -186,6 +202,7 @@ class ServeMetrics:
             "queue_wait_ms": self.queue_ms.snapshot(),
             "batch_size": self.batch_size.snapshot(),
             "checkpoint_age_ms": self.checkpoint_age_ms.snapshot(),
+            "planner_est_error": self.plan_error.snapshot(),
         }
 
     def qps_locked(self, completed: int) -> float:
@@ -244,6 +261,12 @@ class ServeMetrics:
             f"{c['degraded']} degraded"
         )
         lines.append(f"graph updates    : {c['graph_updates']}")
+        pe = s["planner_est_error"]
+        lines.append(
+            "planner          : "
+            f"{c['planner_feedback']} feedback, {c['plan_reranks']} reranks, "
+            f"est error p50 {pe['p50']:.2f} max {pe['max']:.2f}"
+        )
         ck = s["checkpoint_age_ms"]
         lines.append(
             "supervision      : "

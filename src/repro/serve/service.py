@@ -255,10 +255,16 @@ class MatchService:
     """
 
     def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        from repro.planner.feedback import PlanFeedbackStore
+
         self.config = config or ServeConfig()
         self.metrics = ServeMetrics(self.config.latency_window)
         self.plan_cache = LRUCache(self.config.plan_cache_size)
         self.result_cache = LRUCache(self.config.result_cache_size)
+        self.portfolio_cache = LRUCache(self.config.plan_cache_size)
+        """Planner portfolios keyed like plan-cache entries (planner only)."""
+        self.feedback = PlanFeedbackStore()
+        """Observed per-plan runtime; drives portfolio promote/demote."""
         self._graphs: dict[str, _GraphSlot] = {}
         self._graphs_lock = threading.RLock()
         self._queue = AdmissionQueue(
@@ -378,8 +384,16 @@ class MatchService:
         self, graph_id: str, old_graph: Optional[CSRGraph] = None
     ) -> None:
         self.metrics.incr("graph_updates")
+        # Plans, portfolios and feedback are *always* eagerly invalidated on
+        # a version bump: a matching order chosen for the old graph's
+        # statistics (or promoted by runs against it) must never be served
+        # against the new graph.  Version keying already makes old entries
+        # unreachable; the eager drop also stops the feedback store from
+        # resurrecting stale observations under a recycled key.
+        self.plan_cache.invalidate_graph(graph_id)
+        self.portfolio_cache.invalidate_graph(graph_id)
+        self.feedback.invalidate_graph(graph_id)
         if self.config.eager_invalidation:
-            self.plan_cache.invalidate_graph(graph_id)
             self.result_cache.invalidate_graph(graph_id)
         # A shared kernel backend (a KernelBackend instance in the service's
         # match_config) may hold intersections of the replaced graph.  Its
@@ -666,6 +680,56 @@ class MatchService:
                 f"(priority {entry.priority})"
             )
         )
+
+    # ------------------------------------------------------------------ #
+    # Planner feedback
+    # ------------------------------------------------------------------ #
+
+    def record_plan_feedback(
+        self,
+        graph_id: str,
+        plan_fp: str,
+        portfolio_key: tuple,
+        plan: MatchingPlan,
+        result: MatchResult,
+    ) -> None:
+        """Fold one completed run into the plan feedback loop.
+
+        Records the plan's observed virtual cycles (plus timeouts/steals
+        from the engine metrics) against its order, publishes the
+        estimator-vs-actual error, and — when the observation re-ranks the
+        portfolio — eagerly invalidates the cached plan for this
+        ``(graph_id, plan_fp)`` so the next request runs the promoted
+        member.
+        """
+        portfolio = self.portfolio_cache.get(portfolio_key)
+        key = (graph_id, plan_fp)
+        choice = (
+            portfolio.choice_for_order(plan.order) if portfolio is not None else None
+        )
+        before = (
+            self.feedback.preferred(key, portfolio)
+            if portfolio is not None
+            else None
+        )
+        obs = self.feedback.record(
+            key,
+            plan.order,
+            cycles=result.elapsed_cycles,
+            est_cycles=choice.est_cycles if choice is not None else 0.0,
+            timeouts=result.timeouts,
+            steals=result.steals,
+            error=result.error is not None,
+        )
+        self.metrics.incr("planner_feedback")
+        if choice is not None and obs.rel_error is not None:
+            self.metrics.observe_plan_error(obs.rel_error)
+        if portfolio is not None and before is not None:
+            after = self.feedback.preferred(key, portfolio)
+            if after.order != before.order:
+                # Re-rank: the cached plan now points at a demoted order.
+                self.plan_cache.invalidate_matching(graph_id, plan_fp)
+                self.metrics.incr("plan_reranks")
 
     # ------------------------------------------------------------------ #
     # Introspection

@@ -371,10 +371,32 @@ class Worker(threading.Thread):
             engine = self._engine(request.engine, config)
 
         plan, compile_ms, plan_hit = self._resolve_plan(
-            engine, prepared, request, version
+            engine, prepared, request, version, graph
         )
         base.compile_ms = compile_ms
         base.plan_cache_hit = plan_hit
+        planner_active = (
+            getattr(engine.config, "planner", None) is not None
+            and hasattr(engine, "plan_portfolio")
+            and not isinstance(prepared.query, MatchingPlan)
+        )
+
+        def record_feedback(result) -> None:
+            if not planner_active or result is None:
+                return
+            service.record_plan_feedback(
+                request.graph_id,
+                prepared.plan_fp,
+                plan_key(
+                    request.graph_id,
+                    version,
+                    prepared.plan_fp,
+                    request.engine,
+                    prepared.config_fp,
+                ),
+                plan,
+                result,
+            )
 
         # Checkpoint/resume: a redelivered entry carrying a checkpoint is
         # resumed from the saved frontier instead of restarted — the base
@@ -409,6 +431,7 @@ class Worker(threading.Thread):
             base.result = result
             base.error = result.error
             base.resumed = True
+            record_feedback(result)
             finish(base)
             return
 
@@ -433,6 +456,7 @@ class Worker(threading.Thread):
         base.run_ms = (time.monotonic() - t0) * 1000.0
         base.result = result
         base.error = result.error
+        record_feedback(result)
         if entry.deadline_at is not None and time.monotonic() > entry.deadline_at:
             base.deadline_missed = True
             metrics.incr("deadline_missed")
@@ -446,12 +470,18 @@ class Worker(threading.Thread):
 
     # ------------------------------------------------------------------ #
 
-    def _resolve_plan(self, engine, prepared, request, version: int):
+    def _resolve_plan(self, engine, prepared, request, version: int, graph):
         """Plan for the request: precompiled > cached > freshly compiled.
 
         Compilation goes through ``engine.compile`` so engines that pin
         their own plan flags (EGSM disables symmetry breaking, STMatch
         disables reuse) cache exactly the plan they would have built.
+
+        With ``config.planner`` set (and a planner-capable engine), a
+        compile miss resolves a cost-ranked portfolio instead, caches it,
+        and picks the member the feedback store currently prefers — so a
+        re-rank (which drops the plan-cache entry) promotes the observed
+        winner on the very next request.
         """
         service = self.service
         if isinstance(prepared.query, MatchingPlan):
@@ -468,7 +498,20 @@ class Worker(threading.Thread):
             if plan is not None:
                 return plan, 0.0, True
         t0 = time.monotonic()
-        plan = engine.compile(prepared.query)
+        if (
+            getattr(engine.config, "planner", None) is not None
+            and hasattr(engine, "plan_portfolio")
+        ):
+            portfolio = service.portfolio_cache.get(key)
+            if portfolio is None:
+                portfolio = engine.plan_portfolio(graph, prepared.query)
+                service.portfolio_cache.put(key, portfolio)
+            choice = service.feedback.preferred(
+                (request.graph_id, prepared.plan_fp), portfolio
+            )
+            plan = choice.plan
+        else:
+            plan = engine.compile(prepared.query, graph)
         compile_ms = (time.monotonic() - t0) * 1000.0
         service.metrics.incr("plan_compiles")
         if service.config.enable_plan_cache:

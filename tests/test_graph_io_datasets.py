@@ -121,7 +121,19 @@ class TestAnalysis:
         assert s.num_edges == 6
         assert s.avg_degree == pytest.approx(3.0)
         assert s.degree_skew == pytest.approx(1.0)
-        assert len(s.row()) == 7
+        # unlabeled: label-frequency columns collapse to their neutral values
+        assert s.max_label_freq == 1.0
+        assert s.min_label_freq == 1.0
+        assert s.max_label_avg_degree == pytest.approx(3.0)
+        assert len(s.row()) == 10
+
+    def test_stats_label_columns(self, k4):
+        labeled = k4.with_labels([0, 0, 0, 1])
+        s = compute_stats(labeled)
+        assert s.max_label_freq == pytest.approx(0.75)
+        assert s.min_label_freq == pytest.approx(0.25)
+        assert s.max_label_avg_degree == pytest.approx(3.0)
+        assert len(s.row()) == 10
 
     def test_triangles_k4(self, k4):
         assert count_triangles(k4) == 4

@@ -1,0 +1,125 @@
+"""Planner conformance: cost-based plans must never change counts.
+
+Seeded generated graphs and random queries run both the legacy greedy
+plan and every member of the planner's cost-ranked portfolio; all of them
+must report the exact same match count.  Planner knobs (beam width,
+sampling budget, parallelism scaling) are also swept, since none of them
+may leak into semantics.
+
+``REPRO_DIFF_SEED`` offsets the case grid the same way the differential
+suite does — CI runs two fixed slices, so every push explores a fresh
+region of the case space while staying reproducible.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import TDFSConfig, compile_plan
+from repro.core.engine import TDFSEngine
+from repro.graph.builder import relabel_random
+from repro.graph.generators import erdos_renyi, power_law_cluster
+from repro.planner import PlannerConfig, plan_query
+from repro.query.random_queries import random_query
+
+#: CI sets REPRO_DIFF_SEED to shift the whole grid; default slice is 0.
+SEED_BASE = int(os.environ.get("REPRO_DIFF_SEED", "0")) * 10_000
+
+FAST = TDFSConfig(num_warps=8)
+PLANNER = PlannerConfig(beam_width=6, portfolio_size=3, samples=128, descents=8)
+
+
+def case_graph(seed: int):
+    """Deterministic small graph, alternating family by seed."""
+    if seed % 2 == 0:
+        return erdos_renyi(80 + seed % 5 * 10, 6.0, seed=seed, name=f"er-{seed}")
+    return power_law_cluster(
+        90 + seed % 3 * 20, 3, p_triangle=0.5, seed=seed, name=f"plc-{seed}"
+    )
+
+
+def case_query(seed: int, num_labels=None):
+    k = 3 + seed % 3  # 3..5 query vertices
+    density = (seed % 7) / 6.0
+    return random_query(
+        k, extra_edge_prob=density, num_labels=num_labels, seed=seed
+    )
+
+
+def assert_portfolio_conforms(graph, query, planner=PLANNER):
+    """Greedy count == count of every portfolio member."""
+    engine = TDFSEngine(FAST)
+    reference = engine.run(graph, compile_plan(query)).count
+    portfolio = plan_query(graph, query, planner)
+    for rank, choice in enumerate(portfolio.choices, start=1):
+        got = engine.run(graph, choice.plan).count
+        assert got == reference, (
+            f"portfolio member #{rank} (order {list(choice.order)}, "
+            f"source {choice.source}) reported {got}, greedy plan "
+            f"reports {reference} for {query.name} on {graph.name}"
+        )
+    return portfolio
+
+
+class TestUnlabeledConformance:
+    """Seeded unlabeled cases across both graph families."""
+
+    @pytest.mark.parametrize("case", range(8))
+    def test_portfolio_counts_match_greedy(self, case):
+        seed = SEED_BASE + case
+        assert_portfolio_conforms(case_graph(seed), case_query(seed))
+
+
+class TestLabeledConformance:
+    """Seeded labeled cases: label selectivities steer the estimator but
+    must never steer the count."""
+
+    @pytest.mark.parametrize("case", range(4))
+    def test_portfolio_counts_match_greedy(self, case):
+        seed = SEED_BASE + 300 + case
+        graph = case_graph(seed)
+        labeled = relabel_random(graph, 4, seed=seed, name=f"{graph.name}-L4")
+        query = case_query(seed, num_labels=4)
+        assert_portfolio_conforms(labeled, query)
+
+
+class TestKnobInvariance:
+    """Planner knobs shift rankings, never semantics."""
+
+    def test_knobs_never_change_counts(self):
+        seed = SEED_BASE + 600
+        graph = case_graph(seed)
+        query = case_query(seed)
+        engine = TDFSEngine(FAST)
+        reference = engine.run(graph, compile_plan(query)).count
+        for planner in (
+            PlannerConfig(beam_width=1, portfolio_size=1, samples=0, descents=0),
+            PlannerConfig(beam_width=12, portfolio_size=4, samples=256, descents=16),
+            PlannerConfig(include_greedy=False),
+        ):
+            portfolio = plan_query(graph, query, planner)
+            for choice in portfolio.choices:
+                assert engine.run(graph, choice.plan).count == reference
+
+    def test_parallelism_never_changes_plans(self):
+        seed = SEED_BASE + 700
+        graph = case_graph(seed)
+        query = case_query(seed)
+        work = plan_query(graph, query, PLANNER, parallelism=1)
+        wall = plan_query(graph, query, PLANNER, parallelism=64)
+        assert [c.order for c in work.choices] == [c.order for c in wall.choices]
+
+
+class TestEngineConformance:
+    """config.planner on vs off through the engine front door."""
+
+    @pytest.mark.parametrize("case", range(4))
+    def test_run_counts_identical(self, case):
+        seed = SEED_BASE + 800 + case
+        graph = case_graph(seed)
+        query = case_query(seed)
+        legacy = TDFSEngine(FAST).run(graph, query).count
+        planned = TDFSEngine(FAST.replace(planner=PLANNER)).run(graph, query).count
+        assert planned == legacy
