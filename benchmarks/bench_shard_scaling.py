@@ -1,0 +1,124 @@
+"""Shard scaling: host wall-clock vs shard count on kernel-bound cells.
+
+Sharding (:mod:`repro.shard`) exists to buy *host* throughput — the
+virtual-GPU simulation is pure Python, so one process caps matching at
+one core no matter how good the kernels are.  This bench measures host
+wall-clock for N ∈ {1, 2, 4} process shards on the kernel-bound fig-9
+cells (P3 on the high-degree datasets, the same slice the kernel
+ablation uses), asserts counts are invariant at every N, and records
+each cell's merged obs snapshot (including the ``shard.*`` accounting)
+into ``results/bench-metrics.tsv`` via the session dump.
+
+Speedup is hardware-bounded: N processes cannot beat the core count.
+The >1.5x-at-N=4 assertion therefore only arms on hosts with at least 4
+CPUs; on smaller machines the curve is still measured and recorded, and
+the run documents the ceiling instead of failing on physics.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+from conftest import pedantic
+
+from repro.bench.harness import (
+    SESSION_METRICS,
+    patterns_for,
+    quick_mode,
+    run_cell,
+)
+from repro.bench.reporting import Table
+from repro.core.config import TDFSConfig
+from repro.graph.datasets import load_dataset
+
+SHARD_COUNTS = (1, 2, 4)
+
+#: Kernel-bound fig-9 slice: high-degree datasets where matching work
+#: dwarfs the per-shard setup (fork + graph pickle + merge).
+CELLS = ("pokec", "web-google", "youtube")
+
+#: Host parallelism actually available to the pool.
+CPUS = os.cpu_count() or 1
+
+
+def shard_config(n: int) -> TDFSConfig:
+    return TDFSConfig(shards=n) if n > 1 else TDFSConfig()
+
+
+def run_scaling(dataset: str) -> tuple[Table, dict[int, float]]:
+    load_dataset(dataset)  # warm the lru cache: time matching, not generation
+    patterns = patterns_for(["P3", "P4"], quick=["P3"])
+    table = Table(
+        f"Shard scaling on {dataset} ({CPUS} CPUs)",
+        ["pattern", "instances"]
+        + [f"N={n} (host)" for n in SHARD_COUNTS]
+        + ["speedup@4"],
+    )
+    speedups: dict[int, float] = {}
+    for pname in patterns:
+        host_s: dict[int, float] = {}
+        results = {}
+        for n in SHARD_COUNTS:
+            t0 = time.perf_counter()
+            r = run_cell(
+                dataset,
+                pname,
+                "tdfs",
+                config=shard_config(n),
+                record_as=f"tdfs[shards={n}]",
+            )
+            host_s[n] = time.perf_counter() - t0
+            results[n] = r
+            # The scaling curve itself, one TSV row per (cell, N).
+            SESSION_METRICS.append(
+                (
+                    dataset,
+                    pname,
+                    f"tdfs[shards={n}]",
+                    {"shard.host_ms": round(host_s[n] * 1000.0, 3)},
+                )
+            )
+        base = results[1]
+        for n in SHARD_COUNTS[1:]:
+            assert results[n].count == base.count, (
+                f"{dataset}/{pname}: sharding changed the count at N={n} "
+                f"({results[n].count} vs {base.count})"
+            )
+            assert results[n].shards == n
+        speedup4 = host_s[1] / host_s[4]
+        speedups[4] = max(speedups.get(4, 0.0), speedup4)
+        table.add_row(
+            pname,
+            base.count,
+            *[f"{host_s[n] * 1000:.1f} ms" for n in SHARD_COUNTS],
+            f"{speedup4:.2f}x",
+        )
+    table.add_note(
+        f"counts asserted invariant across N; host has {CPUS} CPU(s), so "
+        f"the attainable ceiling is ~{min(4, CPUS)}x at N=4"
+    )
+    if CPUS < 4:
+        table.add_note(
+            "speedup assertion skipped: fewer than 4 CPUs — process "
+            "sharding cannot express its parallelism on this host"
+        )
+    return table, speedups
+
+
+@pytest.mark.parametrize("dataset", CELLS)
+def test_shard_scaling(benchmark, report, dataset):
+    def run():
+        table, speedups = run_scaling(dataset)
+        return table, speedups
+
+    table, speedups = pedantic(benchmark, run)
+    report(table)
+    if CPUS >= 4 and not quick_mode():
+        # The acceptance bar: genuine multi-core hosts must see real
+        # scaling on the kernel-bound slice.
+        assert speedups[4] > 1.5, (
+            f"{dataset}: N=4 speedup {speedups[4]:.2f}x <= 1.5x "
+            f"on a {CPUS}-CPU host"
+        )

@@ -30,6 +30,7 @@ from repro.query.pattern import QueryGraph
 from repro.query.patterns import PATTERNS, get_pattern, pattern_names
 from repro.query.plan import MatchingPlan, compile_plan
 from repro.query.random_queries import random_query
+from repro.shard import ShardCoordinator, ShardPlan, ShardPlanner
 from repro.verify import VerificationReport, verify_engines
 
 __version__ = "1.0.0"
@@ -58,6 +59,9 @@ __all__ = [
     "Observability",
     "Registry",
     "Tracer",
+    "ShardCoordinator",
+    "ShardPlan",
+    "ShardPlanner",
     "match",
     "available_engines",
     "DATASETS",

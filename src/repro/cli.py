@@ -142,6 +142,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         strategy=Strategy(args.strategy),
         stack_mode=StackMode(args.stack_mode),
         num_gpus=args.gpus,
+        shards=args.shards,
+        shard_strategy=args.shard_strategy,
         enable_reuse=not args.no_reuse,
         enable_edge_filter=not args.no_edge_filter,
         kernel_backend=args.kernel_backend,
@@ -165,6 +167,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"  compile (host)    : {compile_ms:.3f} ms")
     print(f"  match (virtual)   : {result.elapsed_ms:.3f} ms")
     if args.verbose and not result.failed:
+        if result.shards > 1:
+            print(f"  shards            : {result.shards} ({args.shard_strategy})")
         print(f"  embeddings        : {result.count_embeddings}")
         print(f"  busy/idle cycles  : {result.busy_cycles}/{result.idle_cycles}")
         print(f"  timeouts/steals   : {result.timeouts}/{result.steals}")
@@ -631,6 +635,12 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--labels", type=int, default=None,
                        help="override label count (0 = unlabeled)")
     run_p.add_argument("--gpus", type=int, default=1)
+    run_p.add_argument("--shards", type=int, default=1,
+                       help="shard the job over N worker processes "
+                            "(counts are invariant for any N)")
+    run_p.add_argument("--shard-strategy", default="hash",
+                       choices=["hash", "degree"],
+                       help="shard partitioning strategy")
     run_p.add_argument("--warps", type=int, default=64)
     run_p.add_argument("--chunk-size", type=int, default=8)
     run_p.add_argument("--tau-us", type=float, default=None,

@@ -143,6 +143,16 @@ class TDFSConfig:
     boundary (requires ``checkpoint_every_events > 0``).  May raise to
     abort the run — the worker-kill chaos axis does exactly that."""
 
+    shards: int = 1
+    """Shard the initial-task space over N worker processes (see
+    :mod:`repro.shard`).  1 = in-process execution, unchanged.  N > 1 fans
+    deterministic shards out over a ``ProcessPoolExecutor`` and merges the
+    per-shard results; match counts are invariant for any N, and the merge
+    is bit-identical to running the same shard plan sequentially."""
+    shard_strategy: str = "hash"
+    """Shard partitioning strategy: ``"hash"`` (content-hash, seed-stable)
+    or ``"degree"`` (greedy work balancing by root-edge fanout)."""
+
     planner: Optional["PlannerConfig"] = None
     """Cost-based plan search (see :mod:`repro.planner`).  ``None`` (the
     default) keeps the legacy greedy matching order — emitted plans are
@@ -168,6 +178,19 @@ class TDFSConfig:
             raise ReproError("kernel_cache_entries must be >= 0")
         if self.checkpoint_every_events < 0:
             raise ReproError("checkpoint_every_events must be >= 0")
+        if self.shards < 1:
+            raise ReproError("shards must be >= 1")
+        if self.shards > 1 and self.num_gpus > 1:
+            raise ReproError(
+                "shards and num_gpus cannot both exceed 1; shard a "
+                "single-device config, or simulate multiple devices "
+                "in one process"
+            )
+        if self.shard_strategy not in ("hash", "degree"):
+            raise ReproError(
+                f"unknown shard strategy {self.shard_strategy!r}; "
+                "available: hash, degree"
+            )
         if isinstance(self.kernel_backend, str):
             from repro.kernels import BACKEND_NAMES
 

@@ -82,6 +82,12 @@ class TDFSEngine:
             return run_multi_gpu(
                 graph, plan, self, self.config.num_gpus, collect_matches
             )
+        if self.config.shards > 1:
+            from repro.shard.coordinator import ShardCoordinator
+
+            # The compiled plan is passed down so portfolio resolution
+            # happens exactly once, here in the coordinating process.
+            return ShardCoordinator(self).run(graph, plan, collect_matches)
         edges = graph.directed_edge_array()
         return self._run_single(
             graph, plan, edges, gpu_name="gpu0", collect_matches=collect_matches

@@ -88,13 +88,13 @@ def _failover(
     for g in failed:
         dead = per_gpu[g]
         pending = dead.pending_work or []
-        shards = reshard_groups(pending, len(survivors))
-        for i, s in enumerate(survivors):
-            shard = shards[i]
+        # reshard_groups returns only non-empty shards (possibly fewer
+        # than survivors when the remainder is tiny); zip pairs each with
+        # a survivor and leaves the rest untouched.
+        shards = reshard_groups(pending, len(survivors)) if pending else []
+        per_gpu[survivors[0]].recovery.devices_failed_over += 1
+        for shard, s in zip(shards, survivors):
             surv = per_gpu[s]
-            surv.recovery.devices_failed_over += 1 if i == 0 else 0
-            if not shard:
-                continue
             room = 0
             if collect_matches:
                 have = sum(len(r.matches or []) for r in per_gpu)

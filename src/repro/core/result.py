@@ -99,6 +99,9 @@ class MatchResult:
     aut_size: int = 1
     symmetry_enabled: bool = True
     num_gpus: int = 1
+    shards: int = 1
+    """Worker processes the job was sharded over (see :mod:`repro.shard`);
+    1 = ordinary in-process execution."""
     overflowed: bool = False
     """True when a fixed-capacity stack level truncated candidates — the
     count is then *unreliable*, as the paper shows for STMatch on Pokec."""
@@ -179,6 +182,7 @@ class MatchResult:
             "symmetry_enabled": self.symmetry_enabled,
             "elapsed_ms": self.elapsed_ms,
             "num_gpus": self.num_gpus,
+            "shards": self.shards,
             "overflowed": self.overflowed,
             "error": self.error,
             "load_imbalance": self.load_imbalance,

@@ -123,14 +123,27 @@ def reshard_groups(
     Mirrors the paper's initial-edge partitioning: row ``i`` of each group
     goes to shard ``i mod num_shards``, so a failed device's remainder is
     statistically balanced over the survivors.
+
+    Raises :class:`~repro.errors.ReproError` when ``num_shards`` is not
+    positive (a silent ``[]`` here would drop every pending row), and
+    returns only non-empty shards when ``num_shards`` exceeds the row
+    count — callers distribute work to whatever comes back, and an empty
+    shard is a no-op device attempt at best.
     """
+    if num_shards <= 0:
+        from repro.errors import ReproError
+
+        raise ReproError(
+            f"reshard_groups: num_shards must be >= 1, got {num_shards} "
+            f"({pending_rows(groups)} pending rows would be dropped)"
+        )
     shards: list[list[WorkGroup]] = [[] for _ in range(num_shards)]
     for rows, width in groups:
         for s in range(num_shards):
             part = rows[s::num_shards]
             if len(part):
                 shards[s].append((part, width))
-    return shards
+    return [s for s in shards if s]
 
 
 # --------------------------------------------------------------------------- #

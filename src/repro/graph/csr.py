@@ -237,6 +237,28 @@ class CSRGraph:
             total += self.labels.nbytes
         return total
 
+    def __getstate__(self) -> dict:
+        """Pickle only the defining arrays; memoized caches (directed-edge
+        array, planner profile) are derived and rebuilt lazily on the other
+        side — shipping them to shard worker processes would only bloat the
+        pickle."""
+        return {
+            "row_ptr": self.row_ptr,
+            "col_idx": self.col_idx,
+            "labels": self.labels,
+            "name": self.name,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        # The source graph already validated; skip re-validation on load.
+        self.__init__(
+            state["row_ptr"],
+            state["col_idx"],
+            state["labels"],
+            state["name"],
+            validate=False,
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         lab = f", labels={self.num_labels}" if self.is_labeled else ""
         return (

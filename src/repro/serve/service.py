@@ -212,6 +212,11 @@ class ServeConfig:
     """Start the worker pool on first submit (otherwise call ``start()``)."""
     match_config: TDFSConfig = field(default_factory=TDFSConfig)
     """Default engine config for requests without an override."""
+    shards: int = 1
+    """Shard each dispatched job over N worker processes (applied to
+    ``match_config``; see :mod:`repro.shard`).  Result-cache keys include
+    the shard settings via the config fingerprint, so sharded and
+    unsharded results never alias even though their counts agree."""
     latency_window: int = 16384
     supervisor: Optional[SupervisorConfig] = None
     """Enable supervised serving (watchdog + breakers + quarantine +
@@ -227,6 +232,10 @@ class ServeConfig:
             raise ReproError("serve: workers must be >= 1")
         if self.max_batch < 1:
             raise ReproError("serve: max_batch must be >= 1")
+        if self.shards < 1:
+            raise ReproError("serve: shards must be >= 1")
+        if self.shards > 1 and self.match_config.shards != self.shards:
+            self.match_config = self.match_config.replace(shards=self.shards)
 
 
 @dataclass

@@ -1,0 +1,356 @@
+"""Shard fan-out over processes, failure recovery, and exact merging.
+
+The coordinator's exactness contract has two halves:
+
+* **Partition invariance** — counts: initial tasks root independent
+  subtrees, so the summed per-shard counts equal the unsharded count for
+  *any* partition (the same argument that makes multi-GPU round-robin and
+  timeout-steal decomposition exact).
+* **Process invariance** — everything: a shard's run is a deterministic
+  simulation of a pickled ``(graph, plan, config, rows)`` tuple, so
+  executing it in a worker process is bit-identical to executing it in
+  the coordinator's process.  The merged result (counts sum, makespan is
+  the max, counters sum, ``.peak`` metrics max — exactly the multi-GPU
+  merge) is therefore identical whether the shards ran over a
+  ``ProcessPoolExecutor`` or inline, which is what
+  ``tests/test_shard_conformance.py`` sweeps.
+
+Failure path: a shard process that dies (a killed worker, a poisoned
+pickle, an injected :class:`ShardProcessError`) is *re-executed* — its
+shard's work groups are re-split through
+:func:`repro.faults.recovery.reshard_groups` (the device-failover rule)
+and run in the coordinator process, so a dead shard costs host time but
+never loses or double-counts a match.  The recovery accounting lands in
+``result.recovery`` (``devices_failed_over`` / ``tasks_reexecuted`` /
+``faults_survived``) like every other recovery mechanism in the repo.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Optional, Union
+
+import numpy as np
+
+from repro.core.multi_gpu import merge_results
+from repro.core.result import MatchResult
+from repro.errors import ReproError, UnsupportedError
+from repro.faults.recovery import WorkGroup, pending_rows, reshard_groups
+from repro.graph.csr import CSRGraph
+from repro.query.plan import MatchingPlan
+from repro.shard.planner import ShardPlan, ShardPlanner
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.engine import TDFSEngine
+
+
+class ShardProcessError(ReproError):
+    """A shard worker process died before returning its result."""
+
+
+def _child_config(config):
+    """Strip a config down to what a shard worker process can execute.
+
+    ``shards=1`` prevents recursion; cross-process–unpicklable or
+    coordinator-owned concerns (the obs bundle, checkpoint hooks, the
+    planner — the plan is already resolved and pinned by the coordinator)
+    are dropped; a constructed kernel-backend instance degrades to its
+    registry name, since an intersection cache cannot be shared across
+    process boundaries anyway.
+    """
+    backend = config.kernel_backend
+    if not isinstance(backend, str):
+        backend = getattr(backend, "name", "vectorized")
+    return config.replace(
+        shards=1,
+        obs=None,
+        planner=None,
+        checkpoint_every_events=0,
+        checkpoint_hook=None,
+        kernel_backend=backend,
+    )
+
+
+def _split_groups(groups: list[WorkGroup]) -> tuple[np.ndarray, list[WorkGroup]]:
+    """Width-2 groups become the initial edge rows; deeper prefixes (from a
+    pre-split or re-execution of recovered work) ride in as extra groups."""
+    edge_parts = [rows for rows, width in groups if width == 2]
+    deep = [(rows, width) for rows, width in groups if width != 2]
+    if edge_parts:
+        edges = np.concatenate(edge_parts).astype(np.int64, copy=False)
+    else:
+        edges = np.empty((0, 2), dtype=np.int64)
+    return edges, deep
+
+
+def _run_shard(
+    engine_name: str,
+    config,
+    graph: CSRGraph,
+    plan: MatchingPlan,
+    groups: list[WorkGroup],
+    shard_index: int,
+    collect_matches: int = 0,
+    fail: bool = False,
+) -> MatchResult:
+    """Execute one shard; module-level so process pools can pickle it.
+
+    ``fail=True`` is the shard-kill fault axis: the worker raises instead
+    of running, exercising the coordinator's reshard/re-execute path with
+    a deterministic trigger.
+    """
+    if fail:
+        raise ShardProcessError(f"injected shard-process death (shard {shard_index})")
+    from repro.core.engine import make_engine
+
+    engine = make_engine(engine_name, config)
+    edges, deep = _split_groups(groups)
+    return engine._run_single(
+        graph,
+        plan,
+        edges,
+        gpu_name=f"shard{shard_index}",
+        collect_matches=collect_matches,
+        resume=deep or None,
+    )
+
+
+def merge_shard_results(
+    per_shard: list[MatchResult], num_shards: int
+) -> MatchResult:
+    """Multi-GPU merge semantics applied to shard results.
+
+    Counts/counters sum, the makespan is the max (shards run
+    concurrently), obs ``.peak`` rows max, and RecoveryStats fold — then
+    the result is stamped with the shard count (``num_gpus`` stays 1:
+    every shard simulated one device).
+    """
+    merged = merge_results(per_shard, num_gpus=1)
+    merged.shards = num_shards
+    return merged
+
+
+class ShardCoordinator:
+    """Plans, dispatches, recovers, and merges one sharded matching job."""
+
+    def __init__(
+        self,
+        engine: "TDFSEngine",
+        num_shards: Optional[int] = None,
+        strategy: Optional[str] = None,
+        mode: str = "process",
+        max_workers: Optional[int] = None,
+        fault_shards: frozenset[int] = frozenset(),
+    ) -> None:
+        cfg = engine.config
+        if getattr(engine, "host_filter", False):
+            raise UnsupportedError(
+                f"engine {engine.name!r} filters initial edges on the host "
+                "and cannot be sharded; sharding partitions the unfiltered "
+                "initial-task space"
+            )
+        if mode not in ("process", "inline"):
+            raise ReproError(f"shard mode must be 'process' or 'inline', got {mode!r}")
+        self.engine = engine
+        self.num_shards = int(num_shards if num_shards is not None else cfg.shards)
+        self.strategy = strategy if strategy is not None else cfg.shard_strategy
+        self.mode = mode
+        self.max_workers = max_workers
+        self.fault_shards = frozenset(fault_shards)
+        self.planner = ShardPlanner(self.num_shards, self.strategy)
+        self.child_config = _child_config(cfg)
+
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        graph: CSRGraph,
+        query: Union[MatchingPlan, object],
+        collect_matches: int = 0,
+    ) -> MatchResult:
+        """Run ``query`` sharded; returns the merged :class:`MatchResult`.
+
+        The plan is resolved *once* in the coordinator — through the
+        cost-based planner's portfolio when ``config.planner`` is set —
+        and shipped pickled to every shard, so all shards execute the
+        identical matching order no matter what each worker process would
+        have chosen on its own.
+        """
+        plan = self.engine.compile(query, graph)
+        shard_plan = self.planner.plan(graph)
+        per_shard, failures, reexecuted = self._execute(
+            graph, plan, shard_plan, collect_matches
+        )
+        merged = merge_shard_results(per_shard, self.num_shards)
+        if failures:
+            merged.recovery.devices_failed_over += failures
+            merged.recovery.faults_survived += failures
+            merged.recovery.tasks_reexecuted += reexecuted
+        self._finalize_metrics(merged, shard_plan, failures, reexecuted)
+        if collect_matches:
+            merged.matches = []
+            for r in per_shard:
+                if r.matches:
+                    room = collect_matches - len(merged.matches)
+                    if room <= 0:
+                        break
+                    merged.matches.extend(r.matches[:room])
+        return merged
+
+    # ------------------------------------------------------------------ #
+
+    def _execute(
+        self,
+        graph: CSRGraph,
+        plan: MatchingPlan,
+        shard_plan: ShardPlan,
+        collect_matches: int,
+    ) -> tuple[list[MatchResult], int, int]:
+        """Run every shard; returns ``(results, failed_shards, rows_rerun)``."""
+        jobs = [
+            (
+                self.engine.name,
+                self.child_config,
+                graph,
+                plan,
+                shard_plan.shards[s],
+                s,
+                collect_matches,
+                s in self.fault_shards,
+            )
+            for s in range(self.num_shards)
+        ]
+        results: list[Optional[MatchResult]] = [None] * self.num_shards
+        dead: list[int] = []
+        if self.mode == "inline":
+            for s, job in enumerate(jobs):
+                try:
+                    results[s] = _run_shard(*job)
+                except ShardProcessError:
+                    dead.append(s)
+        else:
+            results, dead = self._execute_pool(jobs)
+        reexecuted = 0
+        for s in dead:
+            rescue, rows = self._reexecute(
+                graph, plan, shard_plan.shards[s], s, collect_matches
+            )
+            results[s] = rescue
+            reexecuted += rows
+        return [r for r in results if r is not None], len(dead), reexecuted
+
+    def _execute_pool(
+        self, jobs: list[tuple]
+    ) -> tuple[list[Optional[MatchResult]], list[int]]:
+        """Fan the shard jobs out over a process pool.
+
+        ``fork`` is preferred (the graph is shared copy-on-write and
+        startup is milliseconds); ``spawn`` works too since
+        :func:`_run_shard` is module-level and every argument pickles.
+        Any worker-side failure — injected death, a broken pool after a
+        real kill — marks that shard dead for re-execution rather than
+        failing the job.
+        """
+        import concurrent.futures as cf
+        import multiprocessing as mp
+
+        context = mp.get_context(
+            "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        )
+        workers = self.max_workers or min(
+            len(jobs), max(1, os.cpu_count() or 1)
+        )
+        results: list[Optional[MatchResult]] = [None] * len(jobs)
+        dead: list[int] = []
+        with cf.ProcessPoolExecutor(
+            max_workers=workers, mp_context=context
+        ) as pool:
+            futures = {
+                pool.submit(_run_shard, *job): s for s, job in enumerate(jobs)
+            }
+            for future in cf.as_completed(futures):
+                s = futures[future]
+                try:
+                    results[s] = future.result()
+                except Exception:
+                    dead.append(s)
+        dead.sort()
+        return results, dead
+
+    def _reexecute(
+        self,
+        graph: CSRGraph,
+        plan: MatchingPlan,
+        groups: list[WorkGroup],
+        shard_index: int,
+        collect_matches: int,
+    ) -> tuple[MatchResult, int]:
+        """Recover a dead shard: reshard its groups, run them inline.
+
+        Uses the device-failover rule (:func:`reshard_groups`) so a giant
+        dead shard re-executes as balanced sub-units, then merges the
+        sub-results with the usual shard semantics.
+        """
+        rows = pending_rows(groups)
+        subgroups = reshard_groups(groups, self.num_shards) if groups else []
+        if not subgroups:
+            subgroups = [groups] if groups else [[]]
+        sub_results = [
+            _run_shard(
+                self.engine.name,
+                self.child_config,
+                graph,
+                plan,
+                sub,
+                shard_index,
+                collect_matches,
+            )
+            for sub in subgroups
+        ]
+        return merge_shard_results(sub_results, len(sub_results)), rows
+
+    def _finalize_metrics(
+        self,
+        merged: MatchResult,
+        shard_plan: ShardPlan,
+        failures: int,
+        reexecuted: int,
+    ) -> None:
+        """Stamp shard accounting into the merged obs snapshot.
+
+        ``merged.metrics`` already holds the summed/maxed per-shard
+        registry snapshots (the worker processes each ran a private
+        registry); the shard-level accounting rides alongside them.  When
+        the caller supplied a shared obs bundle, the shard counters are
+        also published into its registry — workers cannot write to the
+        parent's registry, so the coordinator accumulates the shard-level
+        story (jobs, failures, re-executed rows) on their behalf.
+        """
+        extra = {
+            "shard.count": shard_plan.num_shards,
+            "shard.rows": shard_plan.total_rows,
+            "shard.presplit": shard_plan.presplit_shards,
+            "shard.process_failures": failures,
+            "shard.rows_reexecuted": reexecuted,
+        }
+        merged.metrics = dict(merged.metrics or {})
+        merged.metrics.update(extra)
+        obs = self.engine.config.obs
+        if obs is not None:
+            reg = obs.registry
+            reg.counter("shard.jobs").inc(1)
+            reg.counter("shard.dispatched").inc(shard_plan.num_shards)
+            reg.counter("shard.rows").inc(shard_plan.total_rows)
+            reg.counter("shard.presplit").inc(shard_plan.presplit_shards)
+            reg.counter("shard.process_failures").inc(failures)
+            reg.counter("shard.rows_reexecuted").inc(reexecuted)
+
+
+def run_sharded(
+    graph: CSRGraph,
+    query: Union[MatchingPlan, object],
+    engine: "TDFSEngine",
+    collect_matches: int = 0,
+) -> MatchResult:
+    """Engine entry point for ``TDFSConfig(shards=N)`` (see engine.run)."""
+    return ShardCoordinator(engine).run(graph, query, collect_matches)

@@ -14,46 +14,17 @@ space while staying reproducible.
 
 from __future__ import annotations
 
-import os
-
 import pytest
 
-from repro import TDFSConfig
-from repro.core.config import Strategy
-from repro.graph.generators import erdos_renyi, power_law_cluster
-from repro.query.random_queries import random_query
 from repro.verify import VerificationReport, verify_engines
-
-#: CI sets REPRO_DIFF_SEED to shift the whole grid; default slice is 0.
-SEED_BASE = int(os.environ.get("REPRO_DIFF_SEED", "0")) * 10_000
-
-FAST = TDFSConfig(num_warps=8)
-
-#: Aggressive decomposition: tiny τ and chunk so the timeout-steal path
-#: (Q_task enqueue/dequeue, stack rebuilds) is live on these small graphs.
-STEAL = TDFSConfig(num_warps=8, tau_cycles=400, chunk_size=2)
-
-#: STMatch-style work stealing, exercised as a distinct engine schedule.
-HALF_STEAL = TDFSConfig(
-    num_warps=8, strategy=Strategy.HALF_STEAL, chunk_size=2
+from tests.fuzz import (  # shared case space (see tests/fuzz.py)
+    FAST,
+    HALF_STEAL,
+    SEED_BASE,
+    STEAL,
+    case_graph,
+    case_query,
 )
-
-
-def case_graph(seed: int):
-    """Deterministic small graph, alternating family by seed."""
-    if seed % 2 == 0:
-        return erdos_renyi(90 + seed % 5 * 10, 6.0, seed=seed, name=f"er-{seed}")
-    return power_law_cluster(
-        100 + seed % 3 * 20, 3, p_triangle=0.5, seed=seed, name=f"plc-{seed}"
-    )
-
-
-def case_query(seed: int, num_labels=None):
-    k = 3 + seed % 3  # 3..5 query vertices
-    density = (seed % 7) / 6.0
-    return random_query(
-        k, extra_edge_prob=density, num_labels=num_labels, seed=seed
-    )
 
 
 def check(graph, query, config, seed):

@@ -25,6 +25,7 @@ from repro import (
 )
 from repro.core.engine import TDFSEngine
 from repro.core.multi_gpu import merge_results
+from repro.errors import ReproError
 from repro.core.result import MatchResult, RecoveryStats
 from repro.faults import (
     POISON_VALUE,
@@ -309,6 +310,33 @@ def test_reshard_groups_round_robin():
     assert pending_rows([(rows, 2)]) == 5
     assert pending_rows(None) == 0
     assert pending_rows([]) == 0
+
+
+def test_reshard_groups_rejects_nonpositive_shards():
+    """Regression: num_shards <= 0 used to return [] silently, dropping
+    every pending row of a recovery snapshot."""
+    rows = np.arange(6, dtype=np.int64).reshape(3, 2)
+    with pytest.raises(ReproError, match="num_shards must be >= 1"):
+        reshard_groups([(rows, 2)], 0)
+    with pytest.raises(ReproError, match="3 pending rows"):
+        reshard_groups([(rows, 2)], -1)
+
+
+def test_reshard_groups_drops_empty_shards():
+    """Regression: more shards than rows used to emit empty shard lists,
+    which downstream callers would dispatch as no-op device attempts."""
+    rows = np.arange(4, dtype=np.int64).reshape(2, 2)
+    shards = reshard_groups([(rows, 2)], 5)
+    assert len(shards) == 2
+    assert all(shard for shard in shards)
+    assert sum(pending_rows(s) for s in shards) == 2
+    # Preserved rows, positionally aligned with the round-robin rule.
+    assert np.array_equal(shards[0][0][0], rows[0::5])
+    assert np.array_equal(shards[1][0][0], rows[1::5])
+
+
+def test_reshard_groups_empty_input():
+    assert reshard_groups([], 3) == []
 
 
 def test_cpu_resume_groups_equals_full_count(graph):

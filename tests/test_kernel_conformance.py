@@ -19,8 +19,6 @@ tiny graphs still cover the batched path, and pin the
 
 from __future__ import annotations
 
-import os
-
 import numpy as np
 import pytest
 
@@ -29,7 +27,6 @@ from repro.core.config import StackMode, Strategy
 from repro.core.intersect import intersect_sorted
 from repro.errors import ReproError
 from repro.graph.builder import relabel_random
-from repro.graph.generators import erdos_renyi, power_law_cluster
 from repro.kernels import (
     BACKEND_NAMES,
     ScalarBackend,
@@ -38,16 +35,13 @@ from repro.kernels import (
     make_backend,
     resolve_backend,
 )
-from repro.query.random_queries import random_query
-
-#: CI shifts the whole case grid per run, same scheme as the engine
-#: differential suite — reproducible, but every push sees a fresh slice.
-SEED_BASE = int(os.environ.get("REPRO_DIFF_SEED", "0")) * 10_000
-
-FAST = TDFSConfig(num_warps=8)
-
-#: Aggressive decomposition so Q_task traffic and stack rebuilds are live.
-STEAL = TDFSConfig(num_warps=8, tau_cycles=400, chunk_size=2)
+from tests.fuzz import (  # shared case space (see tests/fuzz.py)
+    FAST,
+    SEED_BASE,
+    STEAL,
+    case_graph,
+    case_query,
+)
 
 #: Everything two backend runs must agree on.  ``elapsed_cycles`` alone
 #: nearly implies the rest (one mischarged candidate shifts the whole
@@ -64,23 +58,6 @@ CONFORMANCE_FIELDS = (
     "steals",
     "overflowed",
 )
-
-
-def case_graph(seed: int):
-    """Deterministic small graph, alternating family by seed."""
-    if seed % 2 == 0:
-        return erdos_renyi(90 + seed % 5 * 10, 6.0, seed=seed, name=f"er-{seed}")
-    return power_law_cluster(
-        100 + seed % 3 * 20, 3, p_triangle=0.5, seed=seed, name=f"plc-{seed}"
-    )
-
-
-def case_query(seed: int, num_labels=None):
-    k = 3 + seed % 3  # 3..5 query vertices
-    density = (seed % 7) / 6.0
-    return random_query(
-        k, extra_edge_prob=density, num_labels=num_labels, seed=seed
-    )
 
 
 def assert_conformant(graph, query, config, engine="tdfs", label=""):
