@@ -21,6 +21,12 @@ regeneration of every table and figure in the paper's evaluation.
 from repro.core.config import StackMode, Strategy, TDFSConfig
 from repro.core.engine import TDFSEngine, available_engines, match
 from repro.core.result import MatchResult, RecoveryStats
+from repro.dynamic import (
+    DeltaBatch,
+    DeltaError,
+    IncrementalConfig,
+    IncrementalMatcher,
+)
 from repro.faults import FaultKind, FaultPlan, FaultSpec, RetryPolicy
 from repro.graph.builder import GraphBuilder, from_edges, relabel_random
 from repro.obs import Observability, Registry, Tracer
@@ -52,6 +58,10 @@ __all__ = [
     "TDFSEngine",
     "MatchResult",
     "RecoveryStats",
+    "DeltaBatch",
+    "DeltaError",
+    "IncrementalConfig",
+    "IncrementalMatcher",
     "FaultKind",
     "FaultPlan",
     "FaultSpec",

@@ -29,6 +29,14 @@ Commands
         python -m repro serve --dataset dblp --workload reqs.jsonl
         python -m repro serve --chaos --seed 7 --kill-rate 0.3
         python -m repro serve --smoke & pid=$!; kill -TERM $pid; wait $pid
+``delta``
+    Replay a seeded batch-dynamic edge-delta stream against a dataset and
+    count matches incrementally (``repro.dynamic``): each batch's count is
+    produced by the delta-anchored fast path and verified against a full
+    from-scratch re-match::
+
+        python -m repro delta --dataset dblp --pattern P1 --batches 5
+        python -m repro delta --dataset web-google --pattern P3 --edges 8
 ``chaos``
     Run under deterministic fault injection and report survival.
 ``profile``
@@ -497,6 +505,79 @@ def _serve_chaos(
     return 0 if ok else 1
 
 
+def _cmd_delta(args: argparse.Namespace) -> int:
+    """``repro delta``: incremental counting over a seeded delta stream.
+
+    Self-checking: every incremental count is verified against a full
+    re-match on the successor graph, so exit code 0 means the fast path
+    was exact across the whole stream.
+    """
+    from repro.dynamic import IncrementalMatcher, random_delta_stream
+
+    config = TDFSConfig(
+        num_warps=args.warps,
+        device_memory=DATASETS[args.dataset].device_memory,
+    )
+    graph = load_dataset(args.dataset, num_labels=args.labels)
+    query = get_pattern(args.pattern)
+    print(
+        f"=== repro delta: {args.dataset}, {args.pattern}, "
+        f"{args.batches} batches (<= {args.edges} edges each), "
+        f"seed {args.seed} ==="
+    )
+    t0 = time.perf_counter()
+    base = match(graph, query, config=config)
+    base_ms = (time.perf_counter() - t0) * 1000.0
+    print(f"base: {base.count} matches (full match, {base_ms:.1f} ms host)")
+
+    matcher = IncrementalMatcher(config)
+    ok = incremental = 0
+    inc_host_ms = full_host_ms = 0.0
+    current, count = graph, base.count
+    stream = random_delta_stream(
+        current, args.batches, seed=args.seed, max_edges=args.edges
+    )
+    for i, (batch, successor) in enumerate(stream, start=1):
+        t0 = time.perf_counter()
+        out = matcher.count_delta(current, successor, batch, query, count)
+        inc_ms = (time.perf_counter() - t0) * 1000.0
+        t0 = time.perf_counter()
+        full = match(successor, query, config=config)
+        full_ms = (time.perf_counter() - t0) * 1000.0
+        agree = out.count == full.count
+        ok += agree
+        incremental += out.incremental
+        inc_host_ms += inc_ms
+        full_host_ms += full_ms
+        path = (
+            f"incremental ({out.anchored_tasks} anchored tasks)"
+            if out.incremental
+            else f"fallback ({out.fallback_reason})"
+        )
+        print(
+            f"batch {i}: +{len(batch.add)}/-{len(batch.remove)} edges -> "
+            f"{out.count} matches (gained {out.gained}, lost {out.lost}) "
+            f"via {path}; full re-match {full.count} "
+            f"[{'OK' if agree else 'MISMATCH'}] "
+            f"{inc_ms:.1f} vs {full_ms:.1f} ms"
+        )
+        current, count = successor, out.count
+    verdict = ok == args.batches
+    print(
+        f"host time         : {inc_host_ms:.1f} ms incremental vs "
+        f"{full_host_ms:.1f} ms full re-match "
+        f"({full_host_ms / inc_host_ms:.1f}x)"
+        if inc_host_ms
+        else "host time         : n/a"
+    )
+    print(
+        f"delta verdict     : {'OK' if verdict else 'FAIL'} "
+        f"({ok}/{args.batches} counts match full re-match, "
+        f"{incremental}/{args.batches} batches took the incremental path)"
+    )
+    return 0 if verdict else 1
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     """Profile one matching run: spans + metrics snapshot (+ Chrome JSON)."""
     from repro.obs import Observability
@@ -720,6 +801,23 @@ def build_parser() -> argparse.ArgumentParser:
                               "scheduler events (0 = restart from scratch "
                               "on redelivery)")
     serve_p.set_defaults(func=_cmd_serve)
+
+    delta_p = sub.add_parser(
+        "delta",
+        help="incremental counting over a seeded edge-delta stream, "
+             "verified against full re-matching",
+    )
+    delta_p.add_argument("--dataset", default="dblp", choices=list(DATASETS))
+    delta_p.add_argument("--pattern", default="P1")
+    delta_p.add_argument("--batches", type=int, default=5,
+                         help="delta batches to replay")
+    delta_p.add_argument("--edges", type=int, default=4,
+                         help="max edges per batch")
+    delta_p.add_argument("--seed", type=int, default=0,
+                         help="stream seed (same seed = same stream)")
+    delta_p.add_argument("--labels", type=int, default=None)
+    delta_p.add_argument("--warps", type=int, default=8)
+    delta_p.set_defaults(func=_cmd_delta)
 
     chaos_p = sub.add_parser(
         "chaos",

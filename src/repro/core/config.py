@@ -15,6 +15,7 @@ from typing import Optional, TYPE_CHECKING, Union
 from repro.errors import ReproError
 
 if TYPE_CHECKING:  # avoid a runtime import cycle (faults → … → config)
+    from repro.dynamic.incremental import IncrementalConfig
     from repro.faults.plan import FaultPlan, RetryPolicy
     from repro.kernels import KernelBackend
     from repro.obs import Observability
@@ -161,6 +162,13 @@ class TDFSConfig:
     searched, cost-ranked portfolio (requires the engine to see the data
     graph at compile time; plan-only entry points fall back to greedy)."""
 
+    incremental: Optional["IncrementalConfig"] = None
+    """Dynamic-graph fast path (see :mod:`repro.dynamic`).  ``None`` keeps
+    the defaults of :class:`~repro.dynamic.IncrementalConfig`; set one to
+    tune the delta-size and anchor-enumeration thresholds that gate the
+    incremental matcher before it falls back to a full re-match.  Has no
+    effect on ordinary (non-delta) runs."""
+
     # ------------------------------------------------------------------ #
 
     def __post_init__(self) -> None:
@@ -205,6 +213,14 @@ class TDFSConfig:
             if not isinstance(self.planner, PlannerConfig):
                 raise ReproError(
                     "planner must be a repro.planner.PlannerConfig or None"
+                )
+        if self.incremental is not None:
+            from repro.dynamic.incremental import IncrementalConfig
+
+            if not isinstance(self.incremental, IncrementalConfig):
+                raise ReproError(
+                    "incremental must be a repro.dynamic.IncrementalConfig "
+                    "or None"
                 )
 
     @property

@@ -1,0 +1,34 @@
+"""Batch-dynamic graphs and incremental match counting.
+
+Public surface:
+
+* :class:`DeltaBatch` / :class:`NetDelta` / :class:`DeltaError` — validated
+  edge deltas and their normalization against a concrete graph;
+* :meth:`repro.graph.csr.CSRGraph.apply_delta` — vectorized successor-graph
+  construction (lives on the graph type, driven by a batch);
+* :class:`IncrementalMatcher` / :class:`IncrementalConfig` /
+  :class:`DeltaCount` — exact ``count(G') = count(G) + gained − lost``
+  via delta-edge-anchored runs of the unmodified T-DFS engine;
+* :func:`random_delta_stream` / :func:`random_delta_batch` — seeded
+  stream generation for tests and benchmarks.
+"""
+
+from repro.dynamic.delta import DeltaBatch, DeltaError, NetDelta, edges_present
+from repro.dynamic.incremental import (
+    DeltaCount,
+    IncrementalConfig,
+    IncrementalMatcher,
+)
+from repro.dynamic.stream import random_delta_batch, random_delta_stream
+
+__all__ = [
+    "DeltaBatch",
+    "DeltaError",
+    "NetDelta",
+    "edges_present",
+    "DeltaCount",
+    "IncrementalConfig",
+    "IncrementalMatcher",
+    "random_delta_batch",
+    "random_delta_stream",
+]

@@ -1,0 +1,327 @@
+"""Incremental match counting over batch-dynamic edge deltas.
+
+The key observation (paper §1, optimization 4, applied in reverse): the
+matches a delta gains or loses are exactly those containing **at least one
+delta edge**, and the engine's edge-grained initial tasks are the natural
+hook for enumerating them.  For a net delta ``G' = G − R + A`` (``R ⊆
+E(G)``, ``A ∩ E(G) = ∅``, ``R ∩ A = ∅`` — see
+:meth:`repro.dynamic.delta.DeltaBatch.normalize`):
+
+    count(G') = count(G) − lost + gained
+    lost      = #matches of Q in G  containing ≥ 1 edge of R
+    gained    = #matches of Q in G' containing ≥ 1 edge of A
+
+Each side is enumerated by **delta-edge-anchored initial tasks**: for every
+query edge ``(a, b)`` we compile a plan whose matching order starts ``[a,
+b, ...]`` (:func:`repro.query.ordering.anchored_matching_order`, symmetry
+breaking off) and feed the *unmodified* T-DFS engine both directions of
+every delta edge as its entire initial-task set.  Because an embedding is
+injective, a delta data edge is covered by **exactly one** query edge of a
+match, so sweeping all query edges finds every affected embedding — and a
+match containing ``t ≥ 2`` delta edges is found ``t`` times (once per
+delta edge it contains, possibly under different anchor plans).
+
+The inclusion–exclusion correction for that multi-delta-edge overcount is
+performed *exactly* by keying the enumerated embeddings into one set: the
+anchored runs collect full embeddings (tuples indexed by query vertex id,
+identical keys under every anchor plan), and deduplication subtracts each
+pairwise overlap, re-adds each triple overlap, and so on — the same
+alternating sum as explicit inclusion–exclusion, evaluated on the actual
+match sets rather than on counts (DESIGN.md §13 has the argument).
+
+Symmetry normalization: the anchored runs count raw embeddings (symmetry
+breaking must be off — a canonical representative might place the delta
+edge on a different query edge than the anchor).  The affected-embedding
+set is closed under ``Aut(Q)`` (an automorphism permutes query vertices
+and preserves the edge image), so dividing by ``|Aut(Q)|`` is exact and
+recovers instance counts when the caller's config has symmetry on.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.config import TDFSConfig
+from repro.core.engine import TDFSEngine
+from repro.core.result import MatchResult
+from repro.dynamic.delta import DeltaBatch, NetDelta
+from repro.errors import ReproError, UnsupportedError
+from repro.graph.csr import CSRGraph
+from repro.query.ordering import anchored_matching_order
+from repro.query.pattern import QueryGraph
+from repro.query.plan import MatchingPlan, compile_plan
+
+
+@dataclass(frozen=True)
+class IncrementalConfig:
+    """Thresholds that gate the incremental fast path.
+
+    Beyond either bound the matcher falls back to a full re-match — the
+    incremental path only wins while the affected-match set is small.
+    """
+
+    max_delta_edges: int = 64
+    """Net delta edges (adds + removes) beyond which full re-match runs."""
+    max_anchor_matches: int = 200_000
+    """Embedding-enumeration cap per anchored run; exceeding it falls back
+    (the affected set would not fit the dedup buffer)."""
+
+    def __post_init__(self) -> None:
+        if self.max_delta_edges < 1:
+            raise ReproError("incremental: max_delta_edges must be >= 1")
+        if self.max_anchor_matches < 1:
+            raise ReproError("incremental: max_anchor_matches must be >= 1")
+
+
+@dataclass
+class DeltaCount:
+    """Outcome of one incremental delta count."""
+
+    count: int
+    """Exact match count on the successor graph ``G'``."""
+    base_count: int
+    gained: int = 0
+    lost: int = 0
+    incremental: bool = True
+    """False when the full-re-match fallback produced ``count``."""
+    fallback_reason: Optional[str] = None
+    anchored_tasks: int = 0
+    """Initial-task rows fed across all anchored runs."""
+    anchor_runs: int = 0
+    elapsed_cycles: int = 0
+    """Virtual cycles across the anchored (or fallback) runs."""
+    host_ms: float = 0.0
+    result: Optional[MatchResult] = None
+    """A result for ``G'`` carrying the exact count (synthesized from the
+    anchored runs on the incremental path, the real run on fallback)."""
+
+
+class _AnchorFallback(Exception):
+    """Internal: an anchored run could not complete; fall back to full."""
+
+    def __init__(self, reason: str) -> None:
+        self.reason = reason
+        super().__init__(reason)
+
+
+class IncrementalMatcher:
+    """Counts ``count(G')`` from ``count(G)`` plus delta-anchored runs.
+
+    ``config`` fixes the count semantics being maintained (symmetry on →
+    instance counts, off → raw embeddings) and supplies the engine knobs
+    the anchored runs inherit (strategy, τ, stacks, kernel backend…).
+    Thresholds come from ``config.incremental`` when set, else from the
+    ``inc`` argument, else :class:`IncrementalConfig` defaults.
+    """
+
+    def __init__(
+        self,
+        config: Optional[TDFSConfig] = None,
+        inc: Optional[IncrementalConfig] = None,
+    ) -> None:
+        self.config = config or TDFSConfig()
+        self.inc = self.config.incremental or inc or IncrementalConfig()
+
+    # ------------------------------------------------------------------ #
+
+    def count_delta(
+        self,
+        old_graph: CSRGraph,
+        new_graph: CSRGraph,
+        delta: Union[DeltaBatch, NetDelta],
+        query: Union[QueryGraph, MatchingPlan, str],
+        base_count: int,
+    ) -> DeltaCount:
+        """Exact match count on ``new_graph`` given ``base_count`` on
+        ``old_graph`` and the delta between them.
+
+        ``delta`` may be the applied :class:`DeltaBatch` (normalized here
+        against ``old_graph``) or an already-normalized :class:`NetDelta`;
+        ``query`` may be a pattern name like ``"P1"``.  Falls back to a
+        full re-match — still returning the exact count — when the delta
+        or the affected-match set is too large, or when an anchored run
+        fails; ``fallback_reason`` says why.
+        """
+        t0 = time.perf_counter()
+        if isinstance(query, str):
+            from repro.query.patterns import get_pattern
+
+            query = get_pattern(query)
+        if isinstance(query, MatchingPlan):
+            query = query.query
+        if query.is_labeled and not new_graph.is_labeled:
+            raise UnsupportedError(
+                "labeled query on an unlabeled data graph; attach labels first"
+            )
+        net = delta if isinstance(delta, NetDelta) else delta.normalize(old_graph)
+        out = DeltaCount(count=int(base_count), base_count=int(base_count))
+        if net.size > self.inc.max_delta_edges:
+            return self._fallback(new_graph, query, out, "delta-too-large", t0)
+        try:
+            lost_emb, lost_tasks, lost_cycles = self._affected(
+                old_graph, net.removed, query
+            )
+            gained_emb, gained_tasks, gained_cycles = self._affected(
+                new_graph, net.added, query
+            )
+        except _AnchorFallback as exc:
+            return self._fallback(new_graph, query, out, exc.reason, t0)
+        out.lost = self._to_instances(query, len(lost_emb))
+        out.gained = self._to_instances(query, len(gained_emb))
+        out.count = int(base_count) + out.gained - out.lost
+        out.anchored_tasks = lost_tasks + gained_tasks
+        out.anchor_runs = 2 * query.num_edges if net.size else 0
+        out.elapsed_cycles = lost_cycles + gained_cycles
+        out.host_ms = (time.perf_counter() - t0) * 1000.0
+        out.result = self._synthesize(new_graph, query, out)
+        self._publish(out)
+        return out
+
+    # ------------------------------------------------------------------ #
+
+    def _anchor_config(self) -> TDFSConfig:
+        """Engine config for anchored runs: single-device, no recovery
+        machinery, symmetry handled at plan level."""
+        return self.config.replace(
+            shards=1,
+            num_gpus=1,
+            planner=None,
+            retry=None,
+            fault_plan=None,
+            trace=False,
+            obs=None,
+            checkpoint_every_events=0,
+            checkpoint_hook=None,
+            enable_symmetry=False,
+        )
+
+    def _affected(
+        self, graph: CSRGraph, pairs: np.ndarray, query: QueryGraph
+    ) -> tuple[set, int, int]:
+        """Embeddings of ``query`` in ``graph`` using ≥ 1 edge of ``pairs``.
+
+        Returns ``(embedding_set, tasks_fed, virtual_cycles)``.  Every
+        pair must be an existing edge of ``graph`` (the net-delta
+        invariants guarantee this).
+        """
+        if len(pairs) == 0:
+            return set(), 0, 0
+        run_cfg = self._anchor_config()
+        cap = self.inc.max_anchor_matches
+        rows = np.concatenate([pairs, pairs[:, ::-1]]).astype(np.int64)
+        embeddings: set = set()
+        tasks = 0
+        cycles = 0
+        for a, b in query.edges():
+            order = anchored_matching_order(query, a, b)
+            plan = compile_plan(
+                query,
+                order=order,
+                enable_symmetry=False,
+                enable_reuse=run_cfg.enable_reuse,
+            )
+            engine = TDFSEngine(run_cfg)
+            result = engine._run_single(
+                graph,
+                plan,
+                rows,
+                gpu_name="gpu0",
+                collect_matches=cap,
+            )
+            if result.error is not None:
+                raise _AnchorFallback(f"anchor-error ({result.error})")
+            found = result.matches or []
+            if result.count > len(found):
+                raise _AnchorFallback("anchor-overflow")
+            embeddings.update(found)
+            tasks += len(rows)
+            cycles += result.elapsed_cycles
+        return embeddings, tasks, cycles
+
+    def _to_instances(self, query: QueryGraph, num_embeddings: int) -> int:
+        """Raw affected embeddings → counts in the caller's semantics."""
+        if not self.config.enable_symmetry:
+            return num_embeddings
+        from repro.query.symmetry import automorphism_group_size
+
+        aut = automorphism_group_size(query)
+        if num_embeddings % aut:
+            # The affected set is Aut-closed, so this cannot happen unless
+            # an anchored run miscounted — surface it loudly.
+            raise ReproError(
+                f"incremental: {num_embeddings} affected embeddings not "
+                f"divisible by |Aut| = {aut} for query {query.name!r}"
+            )
+        return num_embeddings // aut
+
+    def _fallback(
+        self,
+        new_graph: CSRGraph,
+        query: QueryGraph,
+        out: DeltaCount,
+        reason: str,
+        t0: float,
+    ) -> DeltaCount:
+        """Full re-match on the successor graph (exact, never wrong)."""
+        engine = TDFSEngine(self.config)
+        result = engine.run(new_graph, query)
+        if result.error is not None:
+            raise ReproError(
+                f"incremental fallback re-match failed: {result.error}"
+            )
+        out.count = result.count
+        out.gained = 0
+        out.lost = 0
+        out.incremental = False
+        out.fallback_reason = reason
+        out.elapsed_cycles = result.elapsed_cycles
+        out.host_ms = (time.perf_counter() - t0) * 1000.0
+        out.result = result
+        self._publish(out)
+        return out
+
+    def _synthesize(
+        self, new_graph: CSRGraph, query: QueryGraph, out: DeltaCount
+    ) -> MatchResult:
+        """A :class:`MatchResult` for ``G'`` carrying the incremental count.
+
+        The count is exact (conformance-tested against full re-match); the
+        cycle figure is the anchored runs' total — the work actually done —
+        not what a from-scratch run would have cost.
+        """
+        from repro.query.symmetry import automorphism_group_size
+
+        result = MatchResult(
+            engine="tdfs",
+            graph_name=new_graph.name,
+            query_name=query.name,
+            count=out.count,
+            elapsed_cycles=out.elapsed_cycles,
+            aut_size=automorphism_group_size(query),
+            symmetry_enabled=self.config.enable_symmetry,
+        )
+        result.metrics = {
+            "dynamic.incremental_runs": 1,
+            "dynamic.anchored_tasks": out.anchored_tasks,
+            "dynamic.gained": out.gained,
+            "dynamic.lost": out.lost,
+        }
+        return result
+
+    def _publish(self, out: DeltaCount) -> None:
+        """Fold the outcome into the caller's obs registry (when given)."""
+        obs = self.config.obs
+        if obs is None:
+            return
+        reg = obs.registry
+        if out.incremental:
+            reg.counter("dynamic.incremental_runs").inc()
+            reg.counter("dynamic.anchored_tasks").inc(out.anchored_tasks)
+            reg.counter("dynamic.gained").inc(out.gained)
+            reg.counter("dynamic.lost").inc(out.lost)
+        else:
+            reg.counter("dynamic.fallbacks").inc()

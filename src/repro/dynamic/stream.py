@@ -1,0 +1,110 @@
+"""Seeded random delta streams for tests, fuzzing, and benchmarks.
+
+A *delta stream* is a sequence of :class:`~repro.dynamic.delta.DeltaBatch`
+applied to an evolving graph.  :func:`random_delta_stream` generates
+reproducible streams that deliberately exercise the awkward cases the
+dynamic layer must normalize away:
+
+* **duplicate adds** — edges the current graph already has (net no-ops);
+* **remove-then-re-add** — the same edge in both sets of one batch
+  (cancels to a structural no-op);
+* **vertex-growing adds** — edges touching ids past ``|V|`` (the
+  successor graph grows);
+* removals of absent edges (net no-ops).
+
+Every generated batch passes :meth:`DeltaBatch.make` validation — no
+self-loops, no duplicate rows within ``add`` — so streams can drive the
+conformance suite without try/except scaffolding.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Optional
+
+from repro.dynamic.delta import DeltaBatch
+from repro.graph.csr import CSRGraph
+
+
+def random_delta_batch(
+    graph: CSRGraph,
+    rng: random.Random,
+    max_edges: int = 6,
+    grow_vertices: bool = True,
+) -> DeltaBatch:
+    """One random valid batch against ``graph``.
+
+    Mixes fresh adds, duplicate adds, removals of existing edges, removals
+    of absent edges, one remove-then-re-add pair when possible, and (with
+    ``grow_vertices``) an add reaching one past the current vertex count.
+    """
+    n = graph.num_vertices
+    existing = [
+        (u, int(v))
+        for u in range(n)
+        for v in graph.neighbors(u)
+        if u < v
+    ]
+    add: set[tuple[int, int]] = set()
+    remove: set[tuple[int, int]] = set()
+
+    def random_pair(n_max: int) -> Optional[tuple[int, int]]:
+        if n_max < 2:
+            return None
+        u = rng.randrange(n_max)
+        v = rng.randrange(n_max)
+        if u == v:
+            v = (v + 1) % n_max
+        return (min(u, v), max(u, v))
+
+    budget = rng.randint(1, max_edges)
+    for _ in range(budget):
+        roll = rng.random()
+        if roll < 0.35:
+            # fresh or duplicate add inside the current vertex range
+            pair = random_pair(n)
+            if pair is not None:
+                add.add(pair)
+        elif roll < 0.55 and existing:
+            # duplicate add: explicitly re-add an edge the graph has
+            add.add(rng.choice(existing))
+        elif roll < 0.80 and existing:
+            remove.add(rng.choice(existing))
+        else:
+            # removal of a (likely) absent edge
+            pair = random_pair(n + 2)
+            if pair is not None:
+                remove.add(pair)
+    if existing and rng.random() < 0.5:
+        # remove-then-re-add in the same batch: must cancel out
+        pair = rng.choice(existing)
+        add.add(pair)
+        remove.add(pair)
+    if grow_vertices and rng.random() < 0.4 and n >= 1:
+        # vertex-growing add: touches id n (successor gains a vertex)
+        add.add((rng.randrange(n), n))
+    return DeltaBatch.make(add=sorted(add), remove=sorted(remove))
+
+
+def random_delta_stream(
+    graph: CSRGraph,
+    num_batches: int,
+    seed: int,
+    max_edges: int = 6,
+    grow_vertices: bool = True,
+) -> Iterator[tuple[DeltaBatch, CSRGraph]]:
+    """Yield ``(batch, successor_graph)`` pairs along an evolving graph.
+
+    Deterministic in ``seed``: the same arguments always produce the same
+    stream.  Each batch is generated against the *current* graph (the
+    previous successor), so duplicate-add / existing-edge choices stay
+    meaningful as the graph evolves.
+    """
+    rng = random.Random(seed)
+    current = graph
+    for i in range(num_batches):
+        batch = random_delta_batch(
+            current, rng, max_edges=max_edges, grow_vertices=grow_vertices
+        )
+        current = current.apply_delta(batch, name=f"{graph.name}+d{i + 1}")
+        yield batch, current

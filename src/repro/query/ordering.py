@@ -39,8 +39,35 @@ def choose_matching_order(query: QueryGraph) -> list[int]:
     if k == 1:
         return [0]
     start = max(range(k), key=lambda u: (query.degree(u), -u))
-    order = [start]
-    placed = {start}
+    return _greedy_complete(query, [start])
+
+
+def anchored_matching_order(query: QueryGraph, first: int, second: int) -> list[int]:
+    """Greedy connected order forced to start with the edge ``(first, second)``.
+
+    The incremental matcher (:mod:`repro.dynamic`) anchors initial tasks at
+    delta edges: a plan whose first two order positions are a chosen query
+    edge turns each delta data edge into the complete initial-task set for
+    matches that map that query edge onto it.  Positions 3..k follow the
+    same greedy backward-connectivity rule as
+    :func:`choose_matching_order`.
+
+    Raises :class:`~repro.errors.PlanError` when ``(first, second)`` is not
+    an edge of ``query``.
+    """
+    k = query.num_vertices
+    if not (0 <= first < k and 0 <= second < k) or not query.has_edge(first, second):
+        raise PlanError(
+            f"anchor ({first}, {second}) is not an edge of query "
+            f"{query.name!r}; anchored orders must start on a query edge"
+        )
+    return _greedy_complete(query, [first, second])
+
+
+def _greedy_complete(query: QueryGraph, order: list[int]) -> list[int]:
+    """Extend a connected order prefix greedily to all query vertices."""
+    k = query.num_vertices
+    placed = set(order)
     while len(order) < k:
         best = None
         best_key: tuple[int, int, int] | None = None

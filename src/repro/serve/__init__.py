@@ -42,6 +42,7 @@ from repro.serve.resilience import (
     SupervisorConfig,
 )
 from repro.serve.service import (
+    DeltaResponse,
     MatchRequest,
     MatchResponse,
     MatchService,
@@ -58,6 +59,7 @@ __all__ = [
     "CheckpointStore",
     "CircuitBreaker",
     "CircuitOpenError",
+    "DeltaResponse",
     "Histogram",
     "LRUCache",
     "MatchCheckpoint",

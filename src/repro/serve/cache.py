@@ -196,6 +196,10 @@ _CONFIG_FP_SKIP = frozenset(
         "obs",
         "checkpoint_every_events",
         "checkpoint_hook",
+        # Incremental-delta thresholds gate a fast path whose counts are
+        # conformance-tested equal to a full re-match; they cannot change
+        # what a request returns.
+        "incremental",
     }
 )
 

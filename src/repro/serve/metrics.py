@@ -66,6 +66,12 @@ COUNTERS = (
     "degraded",
     "batches",
     "graph_updates",
+    # -- dynamic deltas (repro.dynamic) --------------------------------- #
+    "delta_requests",
+    "delta_incremental",
+    "delta_fallbacks",
+    "delta_gained",
+    "delta_lost",
     # -- planner feedback (repro.planner) ------------------------------- #
     "planner_feedback",
     "plan_reranks",
@@ -261,6 +267,13 @@ class ServeMetrics:
             f"{c['degraded']} degraded"
         )
         lines.append(f"graph updates    : {c['graph_updates']}")
+        lines.append(
+            "deltas           : "
+            f"{c['delta_requests']} requests, "
+            f"{c['delta_incremental']} incremental, "
+            f"{c['delta_fallbacks']} full re-matches "
+            f"(+{c['delta_gained']}/-{c['delta_lost']} matches)"
+        )
         pe = s["planner_est_error"]
         lines.append(
             "planner          : "

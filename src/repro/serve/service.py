@@ -27,13 +27,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Union
 
-import numpy as np
-
 from repro.core.config import TDFSConfig
-from repro.core.engine import available_engines
+from repro.core.engine import available_engines, make_engine
 from repro.core.result import MatchResult
+from repro.dynamic import DeltaBatch, IncrementalMatcher
 from repro.errors import ReproError, UnsupportedError
-from repro.graph.builder import from_edges
 from repro.graph.csr import CSRGraph
 from repro.query.pattern import QueryGraph
 from repro.query.plan import MatchingPlan
@@ -128,6 +126,30 @@ class MatchResponse:
     def count(self) -> Optional[int]:
         """Match count, or ``None`` when the request did not produce one."""
         return self.result.count if self.result is not None else None
+
+
+@dataclass
+class DeltaResponse:
+    """Outcome of one :meth:`MatchService.match_delta` call."""
+
+    graph_id: str
+    graph_version: int
+    """Version of the successor graph the count is for."""
+    query_name: str
+    engine: str
+    count: int
+    """Exact match count on the successor graph."""
+    base_count: Optional[int] = None
+    """Cached count on the previous version (``None`` = no cached base)."""
+    gained: int = 0
+    lost: int = 0
+    incremental: bool = False
+    """True when the delta fast path produced the count; False when a full
+    re-match ran (see ``fallback_reason``)."""
+    fallback_reason: Optional[str] = None
+    anchored_tasks: int = 0
+    total_ms: float = 0.0
+    result: Optional[MatchResult] = None
 
 
 class MatchTicket:
@@ -322,43 +344,130 @@ class MatchService:
 
         ``add`` may reference new vertex ids past the current ``|V|`` (the
         vertex set grows; new vertices of a labeled graph get label 0).
-        Removal of a non-existent edge is a no-op.  Every cache entry for
-        the previous version becomes unreachable, so no request observes a
-        stale count.
+        Removal of a non-existent edge is a no-op; a self-loop or repeated
+        edge in ``add`` raises :class:`~repro.dynamic.DeltaError`.  The
+        successor graph is built by the vectorized
+        :meth:`~repro.graph.csr.CSRGraph.apply_delta` — no per-edge Python
+        loop over ``|E|``.  Every cache entry for the previous version
+        becomes unreachable, so no request observes a stale count.
         """
-        add_arr = (
-            np.asarray(list(add), dtype=np.int64).reshape(-1, 2)
-            if add
-            else np.empty((0, 2), dtype=np.int64)
-        )
+        batch = DeltaBatch.make(add=add, remove=remove)
         with self._graphs_lock:
             slot = self._slot(graph_id)
             old = slot.graph
-            edges = old.edge_array().astype(np.int64)
-            if remove:
-                drop = {(min(u, v), max(u, v)) for u, v in remove}
-                keep = [
-                    i
-                    for i in range(len(edges))
-                    if (int(edges[i, 0]), int(edges[i, 1])) not in drop
-                ]
-                edges = edges[keep]
-            if len(add_arr):
-                edges = np.vstack([edges, add_arr])
-            n = old.num_vertices
-            if len(add_arr):
-                n = max(n, int(add_arr.max()) + 1)
-            labels = None
-            if old.labels is not None:
-                labels = np.zeros(n, dtype=np.int32)
-                labels[: old.num_vertices] = old.labels
-            slot.graph = from_edges(
-                edges, num_vertices=n, labels=labels, name=old.name
-            )
+            slot.graph = old.apply_delta(batch)
             slot.version += 1
             version = slot.version
         self._after_update(graph_id, old)
         return version
+
+    def match_delta(
+        self,
+        graph_id: str,
+        query: Union[QueryGraph, MatchingPlan, str],
+        add: Optional[Iterable[tuple[int, int]]] = None,
+        remove: Optional[Iterable[tuple[int, int]]] = None,
+        engine: str = "tdfs",
+        config: Optional[TDFSConfig] = None,
+    ) -> DeltaResponse:
+        """Apply an edge delta and return the exact new count in one step.
+
+        When the previous version's count for ``(query, engine, config)``
+        sits in the result cache and the engine is ``"tdfs"``, the count is
+        produced by the incremental fast path — delta-edge-anchored runs of
+        the unmodified engine (:class:`repro.dynamic.IncrementalMatcher`)
+        instead of a from-scratch re-match — and the synthesized result is
+        stored under the new version, so a chain of small deltas never pays
+        for a full match.  Otherwise a full re-match runs; either way the
+        returned count is exact and the graph version is bumped exactly
+        once (same cache-invalidation semantics as :meth:`apply_edges`).
+        """
+        t0 = time.monotonic()
+        self.metrics.incr("delta_requests")
+        if engine not in available_engines():
+            raise UnsupportedError(
+                f"unknown engine {engine!r}; available: "
+                f"{', '.join(available_engines())}"
+            )
+        if isinstance(query, str):
+            from repro.query.patterns import get_pattern
+
+            query = get_pattern(query)
+        cfg = config or self.config.match_config
+        plan_fp = plan_fingerprint(query)
+        config_fp = config_fingerprint(cfg)
+        batch = DeltaBatch.make(add=add, remove=remove)
+
+        with self._graphs_lock:
+            slot = self._slot(graph_id)
+            old_graph, old_version = slot.graph, slot.version
+            new_graph = old_graph.apply_delta(batch)
+            slot.graph = new_graph
+            slot.version += 1
+            version = slot.version
+        self._after_update(graph_id, old_graph)
+
+        base: Optional[MatchResult] = None
+        if self.config.enable_result_cache:
+            base = self.result_cache.get(
+                result_key(graph_id, old_version, plan_fp, engine, config_fp, 0)
+            )
+
+        fallback_reason: Optional[str] = None
+        if engine != "tdfs":
+            # Baseline engines seed initial tasks differently (STMatch
+            # re-filters them on the host, Hybrid re-plans the split), so
+            # anchored seeding only matches tdfs semantics.
+            fallback_reason = "engine-not-tdfs"
+        elif base is None:
+            fallback_reason = "no-cached-base"
+
+        q_name = (
+            query.query.name if isinstance(query, MatchingPlan) else query.name
+        )
+        response = DeltaResponse(
+            graph_id=graph_id,
+            graph_version=version,
+            query_name=q_name,
+            engine=engine,
+            count=0,
+            base_count=base.count if base is not None else None,
+        )
+        if fallback_reason is None:
+            assert base is not None
+            out = IncrementalMatcher(cfg).count_delta(
+                old_graph, new_graph, batch, query, base.count
+            )
+            response.count = out.count
+            response.gained = out.gained
+            response.lost = out.lost
+            response.incremental = out.incremental
+            response.fallback_reason = out.fallback_reason
+            response.anchored_tasks = out.anchored_tasks
+            response.result = out.result
+        else:
+            result = make_engine(engine, cfg).run(new_graph, query)
+            if result.error is not None:
+                raise ReproError(
+                    f"delta re-match on {graph_id!r} failed: {result.error}"
+                )
+            response.count = result.count
+            response.fallback_reason = fallback_reason
+            response.result = result
+
+        if response.incremental:
+            self.metrics.incr("delta_incremental")
+            self.metrics.incr("delta_gained", response.gained)
+            self.metrics.incr("delta_lost", response.lost)
+        else:
+            self.metrics.incr("delta_fallbacks")
+        if self.config.enable_result_cache and response.result is not None:
+            self.result_cache.put(
+                result_key(graph_id, version, plan_fp, engine, config_fp, 0),
+                response.result,
+            )
+        response.total_ms = (time.monotonic() - t0) * 1000.0
+        return response
 
     def graph(self, graph_id: str) -> CSRGraph:
         """The current graph registered under ``graph_id``."""

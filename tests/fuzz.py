@@ -89,3 +89,30 @@ def fuzz_cases(count: int, base: int = 0, num_labels=None):
         else:
             graph = case_graph(seed)
         yield seed, graph, case_query(seed, num_labels=num_labels)
+
+
+def delta_stream_cases(
+    count: int,
+    base: int = 0,
+    num_labels=None,
+    batches: int = 4,
+    max_edges: int = 5,
+):
+    """Yield ``(seed, graph, query, stream)`` for dynamic-graph sweeps.
+
+    ``stream`` is the seeded delta stream of :func:`repro.dynamic.
+    random_delta_stream` over the case's graph — a list of ``(batch,
+    successor_graph)`` pairs whose batches deliberately include duplicate
+    adds of existing edges, remove-then-re-add within one batch, removals
+    of absent edges, and vertex-growing adds.  Shared by the dynamic
+    conformance suite and the serve tests so both walk identical streams.
+    """
+    for seed, graph, query in fuzz_cases(count, base=base, num_labels=num_labels):
+        from repro.dynamic import random_delta_stream
+
+        stream = list(
+            random_delta_stream(
+                graph, batches, seed=seed, max_edges=max_edges
+            )
+        )
+        yield seed, graph, query, stream

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.dynamic import DeltaBatch, DeltaError
 from repro.errors import GraphError
 from repro.graph.builder import from_edges
 from repro.graph.csr import CSRGraph
@@ -121,3 +122,106 @@ class TestEquality:
 
     def test_label_inequality(self, k4):
         assert k4 != k4.with_labels([0, 0, 0, 1])
+
+
+def assert_valid_csr(graph):
+    """Re-run full CSR validation on a graph built with validate=False."""
+    CSRGraph(graph.row_ptr, graph.col_idx, graph.labels, graph.name)
+
+
+class TestApplyDelta:
+    def test_remove_edges(self, k4):
+        out = k4.apply_delta(DeltaBatch.make(remove=[(0, 1), (2, 3)]))
+        assert_valid_csr(out)
+        assert out == from_edges([(0, 2), (0, 3), (1, 2), (1, 3)])
+        # receiver untouched (immutability)
+        assert k4.num_edges == 6
+
+    def test_add_edges(self):
+        g = from_edges([(0, 1), (2, 3)], num_vertices=4)
+        out = g.apply_delta(DeltaBatch.make(add=[(1, 2), (0, 3)]))
+        assert_valid_csr(out)
+        assert out == from_edges([(0, 1), (2, 3), (1, 2), (0, 3)])
+
+    def test_vertex_growing_add(self, triangle):
+        out = triangle.apply_delta(DeltaBatch.make(add=[(0, 5)]))
+        assert_valid_csr(out)
+        assert out.num_vertices == 6
+        assert out.has_edge(0, 5)
+        assert out.degree(4) == 0
+
+    def test_remove_then_readd_is_noop(self, k4):
+        out = k4.apply_delta(DeltaBatch.make(add=[(0, 1)], remove=[(0, 1)]))
+        assert out == k4
+
+    def test_duplicate_add_of_existing_edge_is_noop(self, k4):
+        assert k4.apply_delta(DeltaBatch.make(add=[(0, 1)])) == k4
+
+    def test_remove_absent_edge_is_noop(self, triangle):
+        assert triangle.apply_delta(DeltaBatch.make(remove=[(0, 7)])) == triangle
+
+    def test_empty_batch(self, k4):
+        assert k4.apply_delta(DeltaBatch.make()) == k4
+
+    def test_labels_extended_with_zero(self, k4):
+        g = k4.with_labels([1, 2, 3, 1])
+        out = g.apply_delta(DeltaBatch.make(add=[(3, 5)]))
+        assert_valid_csr(out)
+        assert out.is_labeled
+        assert list(out.labels) == [1, 2, 3, 1, 0, 0]
+
+    def test_remove_all_edges(self, triangle):
+        out = triangle.apply_delta(
+            DeltaBatch.make(remove=[(0, 1), (1, 2), (0, 2)])
+        )
+        assert_valid_csr(out)
+        assert out.num_edges == 0
+        assert out.num_vertices == 3
+
+    def test_matches_from_edges_rebuild(self, small_plc):
+        # The vectorized splice must agree with a from-scratch rebuild.
+        batch = DeltaBatch.make(
+            add=[(0, small_plc.num_vertices - 1), (1, 2), (3, 40)],
+            remove=list(small_plc.edges())[:5],
+        )
+        out = small_plc.apply_delta(batch)
+        assert_valid_csr(out)
+        net = batch.normalize(small_plc)
+        expected = set(small_plc.edges())
+        expected -= {tuple(r) for r in net.removed.tolist()}
+        expected |= {tuple(r) for r in net.added.tolist()}
+        rebuilt = from_edges(
+            sorted(expected), num_vertices=net.num_vertices
+        )
+        assert out == rebuilt
+
+    def test_reversed_pairs_normalized(self, k4):
+        out = k4.apply_delta(DeltaBatch.make(remove=[(1, 0)]))
+        assert not out.has_edge(0, 1)
+
+
+class TestDeltaBatchValidation:
+    def test_self_loop_add_rejected(self):
+        with pytest.raises(DeltaError):
+            DeltaBatch.make(add=[(2, 2)])
+
+    def test_duplicate_add_rejected(self):
+        with pytest.raises(DeltaError):
+            DeltaBatch.make(add=[(0, 1), (1, 0)])
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(DeltaError):
+            DeltaBatch.make(add=[(-1, 2)])
+
+    def test_delta_error_is_graph_error(self):
+        assert issubclass(DeltaError, GraphError)
+
+    def test_remove_dedupes_silently(self):
+        batch = DeltaBatch.make(remove=[(0, 1), (1, 0), (2, 2)])
+        assert len(batch.remove) == 1  # dup collapsed, self-loop dropped
+
+    def test_size_and_max_vertex(self):
+        batch = DeltaBatch.make(add=[(0, 9)], remove=[(3, 4)])
+        assert batch.size == 2
+        assert batch.max_vertex() == 9
+        assert DeltaBatch.make().is_empty

@@ -7,6 +7,7 @@ import threading
 import pytest
 
 from repro import TDFSConfig, match
+from repro.dynamic import DeltaError
 from repro.errors import ReproError, UnsupportedError
 from repro.serve import (
     AdmissionRejected,
@@ -14,6 +15,7 @@ from repro.serve import (
     MatchService,
     ServeConfig,
 )
+from tests.fuzz import delta_stream_cases
 
 
 @pytest.fixture
@@ -148,6 +150,101 @@ class TestQueryPath:
             ticket.result(timeout=5.0)
         with pytest.raises(AdmissionRejected):
             svc.submit(MatchRequest(graph_id="g", query="P1"))
+
+
+class TestDynamicDeltas:
+    def test_apply_edges_rejects_self_loop(self, k4):
+        with make_service() as svc:
+            svc.register_graph("g", k4)
+            with pytest.raises(DeltaError, match="self-loop"):
+                svc.apply_edges("g", add=[(1, 1)])
+            # The rejected batch must not have touched the graph.
+            assert svc.graph_version("g") == 1
+            assert svc.graph("g") is k4
+
+    def test_apply_edges_rejects_duplicate_add(self, k4):
+        with make_service() as svc:
+            svc.register_graph("g", k4)
+            with pytest.raises(DeltaError, match="duplicate"):
+                svc.apply_edges("g", add=[(0, 4), (4, 0)])
+            assert svc.graph_version("g") == 1
+
+    def test_match_delta_incremental_with_warm_cache(self, k4, fast_config):
+        with make_service() as svc:
+            svc.register_graph("g", k4)
+            svc.query("g", "P1")  # caches the base count for version 1
+            resp = svc.match_delta("g", "P1", remove=[(0, 1)])
+        assert resp.incremental
+        assert resp.fallback_reason is None
+        assert resp.graph_version == 2
+        assert resp.count == match(svc.graph("g"), "P1", config=fast_config).count
+        assert resp.count == resp.base_count + resp.gained - resp.lost
+        assert svc.metrics.get("delta_requests") == 1
+        assert svc.metrics.get("delta_incremental") == 1
+
+    def test_match_delta_cold_cache_falls_back(self, k4, fast_config):
+        with make_service() as svc:
+            svc.register_graph("g", k4)
+            resp = svc.match_delta("g", "P1", add=[(0, 4)])
+        assert not resp.incremental
+        assert resp.fallback_reason == "no-cached-base"
+        assert resp.count == match(svc.graph("g"), "P1", config=fast_config).count
+        assert svc.metrics.get("delta_fallbacks") == 1
+
+    def test_match_delta_non_tdfs_engine_falls_back(self, k4, fast_config):
+        with make_service() as svc:
+            svc.register_graph("g", k4)
+            svc.query("g", "P1", engine="stmatch")
+            resp = svc.match_delta("g", "P1", remove=[(0, 1)], engine="stmatch")
+        assert not resp.incremental
+        assert resp.fallback_reason == "engine-not-tdfs"
+        assert resp.count == match(svc.graph("g"), "P1", config=fast_config).count
+
+    def test_match_delta_result_cached_for_new_version(self, k4):
+        with make_service() as svc:
+            svc.register_graph("g", k4)
+            svc.query("g", "P1")
+            resp = svc.match_delta("g", "P1", remove=[(0, 1)])
+            warm = svc.query("g", "P1")
+        assert warm.result_cache_hit
+        assert warm.count == resp.count
+        assert warm.graph_version == resp.graph_version
+
+    def test_match_delta_chains_across_versions(self, k4):
+        # Each delta's synthesized result seeds the next delta's base, so a
+        # whole stream stays on the incremental path after one warm query.
+        with make_service() as svc:
+            svc.register_graph("g", k4)
+            svc.query("g", "P1")
+            r1 = svc.match_delta("g", "P1", add=[(0, 4)])
+            r2 = svc.match_delta("g", "P1", add=[(1, 4)])
+            expected = match(
+                svc.graph("g"), "P1", config=TDFSConfig(num_warps=8)
+            ).count
+        assert r1.incremental and r2.incremental
+        assert r2.base_count == r1.count
+        assert r2.count == expected
+        assert svc.metrics.get("delta_incremental") == 2
+
+    def test_match_delta_stream_conformance(self, fast_config):
+        # Replay a shared fuzz delta stream through the service and check
+        # every served count against a one-shot match of the live graph.
+        seed, graph, query, stream = next(
+            iter(delta_stream_cases(1, base=2380, batches=3, max_edges=4))
+        )
+        with make_service() as svc:
+            svc.register_graph("g", graph)
+            svc.query("g", query)
+            for batch, successor in stream:
+                resp = svc.match_delta(
+                    "g", query, add=batch.add, remove=batch.remove
+                )
+                assert svc.graph("g") == successor
+                expected = match(successor, query, config=fast_config).count
+                assert resp.count == expected, (
+                    f"seed={seed}: served {resp.count} != {expected} "
+                    f"after {batch} (incremental={resp.incremental})"
+                )
 
 
 class TestDeadlines:
