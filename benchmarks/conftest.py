@@ -12,18 +12,25 @@ import re
 
 import pytest
 
-from repro.bench.harness import dump_session_metrics, results_dir
+from repro.bench.harness import (
+    dump_session_metrics,
+    results_dir,
+    validate_bench_metrics,
+)
 
 
 def pytest_sessionfinish(session, exitstatus):
     """Dump every cell's obs snapshot as results/bench-metrics.tsv.
 
     Same flat schema as ``MatchResult.metrics`` (see repro.obs), one row
-    per (dataset, pattern, engine, metric).
+    per (dataset, pattern, engine, metric).  The dump is schema-checked
+    on the spot — a benchmark that emits malformed metrics fails its own
+    session instead of whichever tool reads the TSV later.
     """
     path = dump_session_metrics()
     if path:
-        print(f"\nbench obs metrics -> {path}")
+        rows = validate_bench_metrics(path)
+        print(f"\nbench obs metrics -> {path} ({rows} rows, schema OK)")
 
 
 @pytest.fixture

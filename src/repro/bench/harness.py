@@ -54,6 +54,58 @@ def dump_session_metrics(path: Optional[str] = None) -> Optional[str]:
     return path
 
 
+#: Expected header of ``results/bench-metrics.tsv`` (long format).
+BENCH_METRICS_HEADER = ("dataset", "pattern", "engine", "metric", "value")
+
+
+def validate_bench_metrics(path: str) -> int:
+    """Schema-check a ``bench-metrics.tsv`` dump; returns the row count.
+
+    The TSV is the interchange surface between benchmark runs and the
+    analysis/console tooling, so a malformed dump should fail the session
+    that produced it, not the later reader.  Checks: the header row is
+    exactly :data:`BENCH_METRICS_HEADER`, every data row has five fields
+    with non-empty keys, and every ``value`` parses as a number.  Raises
+    :class:`~repro.errors.ReproError` on the first violation.
+    """
+    try:
+        with open(path) as fh:
+            lines = fh.read().splitlines()
+    except OSError as exc:
+        raise ReproError(f"cannot read bench metrics {path!r}: {exc}") from None
+    rows = [
+        (i + 1, ln) for i, ln in enumerate(lines)
+        if ln.strip() and not ln.startswith("#")
+    ]
+    if not rows:
+        raise ReproError(f"{path}: no header row (empty metrics dump)")
+    header_no, header = rows[0]
+    if tuple(header.split("\t")) != BENCH_METRICS_HEADER:
+        raise ReproError(
+            f"{path}:{header_no}: bad header {header!r}; expected "
+            + "\\t".join(BENCH_METRICS_HEADER)
+        )
+    for line_no, row in rows[1:]:
+        parts = row.split("\t")
+        if len(parts) != len(BENCH_METRICS_HEADER):
+            raise ReproError(
+                f"{path}:{line_no}: expected {len(BENCH_METRICS_HEADER)} "
+                f"tab-separated fields, got {len(parts)}: {row!r}"
+            )
+        if any(not p.strip() for p in parts[:4]):
+            raise ReproError(f"{path}:{line_no}: empty key field in {row!r}")
+        value = parts[4]
+        if value not in ("True", "False"):
+            try:
+                float(value)
+            except ValueError:
+                raise ReproError(
+                    f"{path}:{line_no}: non-numeric value {value!r} "
+                    f"for metric {parts[3]!r}"
+                ) from None
+    return len(rows) - 1
+
+
 def quick_mode() -> bool:
     """True when REPRO_BENCH_QUICK requests the reduced grids."""
     return os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")

@@ -37,6 +37,20 @@ Commands
 
         python -m repro delta --dataset dblp --pattern P1 --batches 5
         python -m repro delta --dataset web-google --pattern P3 --edges 8
+``top``
+    Live ops console: drive a short serve workload in-process and render
+    console frames (qps, latency percentiles, queue, caches, breakers,
+    per-shard utilization, SLO burn rates, flight-recorder counts), or
+    ``--tail FILE`` to render from a dumped metrics file (influx line
+    protocol or TSV) of a process you cannot import::
+
+        python -m repro top --dataset dblp --requests 40 --frames 3
+        python -m repro top --tail results/serve-metrics.lp
+``incident``
+    Pretty-print an incident bundle produced by the flight recorder
+    (``repro serve --dump-on-error DIR`` or ``MatchService.dump_incident``)::
+
+        python -m repro incident incidents/incident-1712-4242.json
 ``chaos``
     Run under deterministic fault injection and report survival.
 ``profile``
@@ -258,6 +272,46 @@ def _install_drain_handler(state: dict):
         return None
 
 
+def _parse_slo(spec: str):
+    """``kind:objective[:threshold_ms]`` -> :class:`repro.obs.SLO`.
+
+    Examples: ``latency:0.95:50`` (95% of requests under 50 ms),
+    ``error_rate:0.999`` (at most 0.1% errors).
+    """
+    from repro.obs import SLO
+
+    parts = spec.split(":")
+    if len(parts) < 2 or parts[0] not in ("latency", "error_rate"):
+        raise ReproError(
+            f"bad --slo spec {spec!r}; expected kind:objective[:threshold_ms] "
+            "with kind 'latency' or 'error_rate'"
+        )
+    try:
+        objective = float(parts[1])
+        threshold = float(parts[2]) if len(parts) > 2 and parts[2] else 250.0
+    except ValueError:
+        raise ReproError(f"bad --slo spec {spec!r}: non-numeric field") from None
+    name = (
+        f"latency-{int(threshold)}ms" if parts[0] == "latency" else "error-rate"
+    )
+    return SLO(
+        name=name, kind=parts[0], objective=objective, threshold_ms=threshold
+    )
+
+
+def _serve_ops_kwargs(args: argparse.Namespace) -> dict:
+    """ServeConfig observability kwargs shared by serve/chaos/top."""
+    return {
+        "slos": tuple(_parse_slo(s) for s in (args.slo or [])),
+        "dump_on_error": args.dump_on_error,
+        "shard_faults": tuple(
+            int(s)
+            for s in (args.shard_faults or "").split(",")
+            if s.strip()
+        ),
+    }
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import MatchService, ServeConfig, SupervisorConfig
 
@@ -265,6 +319,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     graph = load_dataset(args.dataset, num_labels=args.labels)
     match_config = TDFSConfig(
         num_warps=args.warps,
+        shards=args.shards,
         device_memory=DATASETS[args.dataset].device_memory,
     )
 
@@ -287,6 +342,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 enable_result_cache=cached,
                 match_config=match_config,
                 supervisor=supervisor,
+                **_serve_ops_kwargs(args),
             )
         )
         state["service"] = service
@@ -309,6 +365,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(service.render_metrics(), end="")
             failed = [r for r in responses if not r.ok]
             print(f"requests         : {len(responses)} ({len(failed)} failed)")
+            if service.incident_path:
+                print(f"incident         : {service.incident_path}")
         return 1 if failed else 0
 
     # ---- smoke: the repeated-workload acceptance demo ------------------- #
@@ -431,6 +489,7 @@ def _serve_chaos(
                 seed=seed,
             ),
             worker_faults=plan,
+            **_serve_ops_kwargs(args),
         )
     )
     state["service"] = service
@@ -496,6 +555,8 @@ def _serve_chaos(
         f"breakers          : {res.get('breaker_opens', 0)} opens, "
         f"{res.get('breaker_rejections', 0)} shed at submit"
     )
+    incident = service.incident_path
+    print(f"incident          : {incident if incident else '(none)'}")
     ok = unsettled == 0 and mismatched == 0
     print(
         f"verdict           : {'OK' if ok else 'FAIL'} "
@@ -503,6 +564,72 @@ def _serve_chaos(
         "fault-free baseline)"
     )
     return 0 if ok else 1
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """``repro top``: render the live ops console.
+
+    Two attachment modes: ``--tail FILE`` parses a dumped metrics file
+    (influx line protocol or TSV) back into a console frame, for a serve
+    process this CLI did not start; without it, a short workload is
+    driven in-process and a frame is rendered after each batch — the
+    "screenshot" mode used by the README and the CI ops-smoke job.
+    """
+    from repro.obs.console import render_top, snapshot_from_flat, tail_metrics
+
+    if args.tail:
+        frame = render_top(
+            snapshot_from_flat(tail_metrics(args.tail)),
+            title=f"repro top (tail: {args.tail})",
+        )
+        print(frame, end="")
+        return 0
+
+    from repro.serve import MatchService, ServeConfig
+
+    patterns = [p.strip() for p in args.patterns.split(",") if p.strip()]
+    graph = load_dataset(args.dataset, num_labels=args.labels)
+    service = MatchService(
+        ServeConfig(
+            workers=args.workers,
+            match_config=TDFSConfig(
+                num_warps=args.warps,
+                shards=args.shards,
+                device_memory=DATASETS[args.dataset].device_memory,
+            ),
+            **_serve_ops_kwargs(args),
+        )
+    )
+    frames = max(1, args.frames)
+    per_frame = max(1, args.requests // frames)
+    alerted = False
+    with service:
+        service.register_graph(args.dataset, graph)
+        for frame_no in range(frames):
+            specs = [
+                {"pattern": patterns[i % len(patterns)]}
+                for i in range(per_frame)
+            ]
+            _replay(service, args.dataset, specs, args.engine)
+            snap = service.ops_snapshot()
+            alerted = alerted or bool(snap["alerts"])
+            print(
+                render_top(
+                    snap, title=f"repro top (frame {frame_no + 1}/{frames})"
+                )
+            )
+    if service.incident_path:
+        print(f"incident bundle   : {service.incident_path}")
+    return 1 if alerted and args.fail_on_alert else 0
+
+
+def _cmd_incident(args: argparse.Namespace) -> int:
+    """``repro incident BUNDLE``: pretty-print a flight-recorder dump."""
+    from repro.obs import load_incident, render_incident
+
+    bundle = load_incident(args.bundle)
+    print(render_incident(bundle, last_events=args.last), end="")
+    return 0
 
 
 def _cmd_delta(args: argparse.Namespace) -> int:
@@ -658,6 +785,31 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if survived else 1
 
 
+def _add_ops_arguments(p: argparse.ArgumentParser) -> None:
+    """Observability flags shared by ``serve`` and ``top``."""
+    p.add_argument(
+        "--slo", action="append", default=None, metavar="SPEC",
+        help="arm an SLO, kind:objective[:threshold_ms] — e.g. "
+             "latency:0.95:50 or error_rate:0.999; repeatable",
+    )
+    p.add_argument(
+        "--dump-on-error", default=None, metavar="DIR",
+        help="write a self-contained incident bundle (flight recorder + "
+             "stitched trace + metrics + SLO status) into DIR on the "
+             "first fault or SLO breach",
+    )
+    p.add_argument(
+        "--shards", type=int, default=1,
+        help="shard each match over N worker processes",
+    )
+    p.add_argument(
+        "--shard-faults", default=None, metavar="IDX[,IDX...]",
+        help="kill these shard worker attempts once (deterministic "
+             "fault axis) to exercise re-execution and cross-process "
+             "trace stitching",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -800,7 +952,45 @@ def build_parser() -> argparse.ArgumentParser:
                          help="checkpoint the pending frontier every N "
                               "scheduler events (0 = restart from scratch "
                               "on redelivery)")
+    _add_ops_arguments(serve_p)
     serve_p.set_defaults(func=_cmd_serve)
+
+    top_p = sub.add_parser(
+        "top",
+        help="live ops console: qps, latency percentiles, queue, caches, "
+             "breakers, shard utilization, SLO burn rates",
+    )
+    top_p.add_argument("--tail", default=None, metavar="FILE",
+                       help="render from a dumped metrics file (influx "
+                            "line protocol or TSV) instead of driving an "
+                            "in-process workload")
+    top_p.add_argument("--dataset", default="dblp", choices=list(DATASETS))
+    top_p.add_argument("--patterns", default="P1,P2",
+                       help="comma-separated pattern names to cycle")
+    top_p.add_argument("--requests", type=int, default=24,
+                       help="total requests across all frames")
+    top_p.add_argument("--frames", type=int, default=3,
+                       help="console frames to render")
+    top_p.add_argument(
+        "--engine", default="tdfs", choices=list(available_engines())
+    )
+    top_p.add_argument("--labels", type=int, default=None)
+    top_p.add_argument("--workers", type=int, default=2)
+    top_p.add_argument("--warps", type=int, default=8)
+    top_p.add_argument("--fail-on-alert", action="store_true",
+                       help="exit 1 if any SLO burn-rate alert fired")
+    _add_ops_arguments(top_p)
+    top_p.set_defaults(func=_cmd_top)
+
+    incident_p = sub.add_parser(
+        "incident",
+        help="pretty-print an incident bundle written by the flight "
+             "recorder",
+    )
+    incident_p.add_argument("bundle", help="path to an incident-*.json")
+    incident_p.add_argument("--last", type=int, default=20,
+                            help="flight-recorder events to show")
+    incident_p.set_defaults(func=_cmd_incident)
 
     delta_p = sub.add_parser(
         "delta",

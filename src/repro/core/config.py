@@ -169,6 +169,22 @@ class TDFSConfig:
     incremental matcher before it falls back to a full re-match.  Has no
     effect on ordinary (non-delta) runs."""
 
+    trace_context: Optional[object] = None
+    """Cross-process trace identity (a :class:`repro.obs.TraceContext`)
+    for the *operational* tracing layer (see :mod:`repro.obs.ops`).  When
+    set, the shard coordinator records dispatch/run spans under it —
+    including inside shard worker processes, where the context arrives
+    pickled inside this config — and the incremental matcher parents its
+    anchored runs to it.  Purely observational: fingerprint-skipped,
+    changes no simulated behaviour."""
+
+    shard_faults: tuple = ()
+    """Shard indices whose worker process dies on dispatch (the
+    shard-kill fault axis, exercising the coordinator's re-execution
+    path).  Deterministic and observational-path-only in the sense that
+    counts are recovered exactly; fingerprint-skipped like
+    ``fault_plan``."""
+
     # ------------------------------------------------------------------ #
 
     def __post_init__(self) -> None:
@@ -222,6 +238,19 @@ class TDFSConfig:
                     "incremental must be a repro.dynamic.IncrementalConfig "
                     "or None"
                 )
+        if self.trace_context is not None:
+            from repro.obs.ops import TraceContext
+
+            if not isinstance(self.trace_context, TraceContext):
+                raise ReproError(
+                    "trace_context must be a repro.obs.TraceContext or None"
+                )
+        if not isinstance(self.shard_faults, tuple) or any(
+            not isinstance(s, int) or s < 0 for s in self.shard_faults
+        ):
+            raise ReproError(
+                "shard_faults must be a tuple of shard indices (ints >= 0)"
+            )
 
     @property
     def tau_ms(self) -> float:

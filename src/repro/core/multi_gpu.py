@@ -170,6 +170,8 @@ def merge_results(per_gpu: list[MatchResult], num_gpus: int) -> MatchResult:
     merged.intersections = sum(r.intersections for r in per_gpu)
     merged.reuse_hits = sum(r.reuse_hits for r in per_gpu)
     merged.metrics = _merge_metrics([r.metrics for r in per_gpu])
+    spans = [s for r in per_gpu for s in (r.op_spans or [])]
+    merged.op_spans = spans or None
     merged.load_imbalance = max(r.load_imbalance for r in per_gpu)
     merged.queue.enqueued = sum(r.queue.enqueued for r in per_gpu)
     merged.queue.dequeued = sum(r.queue.dequeued for r in per_gpu)

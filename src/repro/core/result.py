@@ -145,6 +145,11 @@ class MatchResult:
     """On terminal failure with recovery armed: the snapshot of unfinished
     work groups, so a multi-GPU driver can fail the remainder over to
     surviving devices."""
+    op_spans: Optional[list] = field(default=None, repr=False)
+    """Operational (wall-clock) span dicts recorded during the run when a
+    :class:`repro.obs.TraceContext` was threaded through the config — how
+    spans from shard worker processes travel back to the coordinator for
+    stitching (see :mod:`repro.obs.ops`)."""
 
     @property
     def elapsed_ms(self) -> float:

@@ -51,6 +51,7 @@ from repro.core.result import MatchResult
 from repro.dynamic.delta import DeltaBatch, NetDelta
 from repro.errors import ReproError, UnsupportedError
 from repro.graph.csr import CSRGraph
+from repro.obs.ops import make_span, ops_tracer
 from repro.query.ordering import anchored_matching_order
 from repro.query.pattern import QueryGraph
 from repro.query.plan import MatchingPlan, compile_plan
@@ -161,12 +162,13 @@ class IncrementalMatcher:
         out = DeltaCount(count=int(base_count), base_count=int(base_count))
         if net.size > self.inc.max_delta_edges:
             return self._fallback(new_graph, query, out, "delta-too-large", t0)
+        ctx = self.config.trace_context
         try:
             lost_emb, lost_tasks, lost_cycles = self._affected(
-                old_graph, net.removed, query
+                old_graph, net.removed, query, ctx, side="removed"
             )
             gained_emb, gained_tasks, gained_cycles = self._affected(
-                new_graph, net.added, query
+                new_graph, net.added, query, ctx, side="added"
             )
         except _AnchorFallback as exc:
             return self._fallback(new_graph, query, out, exc.reason, t0)
@@ -178,14 +180,29 @@ class IncrementalMatcher:
         out.elapsed_cycles = lost_cycles + gained_cycles
         out.host_ms = (time.perf_counter() - t0) * 1000.0
         out.result = self._synthesize(new_graph, query, out)
+        if ctx is not None:
+            end_ms = time.time() * 1000.0
+            ops_tracer().record(
+                make_span(
+                    "delta.count",
+                    ctx.child(stage="delta"),
+                    end_ms - out.host_ms,
+                    end_ms,
+                    gained=out.gained,
+                    lost=out.lost,
+                    anchor_runs=out.anchor_runs,
+                )
+            )
         self._publish(out)
         return out
 
     # ------------------------------------------------------------------ #
 
-    def _anchor_config(self) -> TDFSConfig:
+    def _anchor_config(self, ctx=None) -> TDFSConfig:
         """Engine config for anchored runs: single-device, no recovery
-        machinery, symmetry handled at plan level."""
+        machinery, symmetry handled at plan level.  ``ctx`` (an ops
+        :class:`~repro.obs.TraceContext` child) replaces the caller's trace
+        identity so anchored sub-runs parent to the delta span."""
         return self.config.replace(
             shards=1,
             num_gpus=1,
@@ -197,10 +214,16 @@ class IncrementalMatcher:
             checkpoint_every_events=0,
             checkpoint_hook=None,
             enable_symmetry=False,
+            trace_context=ctx,
         )
 
     def _affected(
-        self, graph: CSRGraph, pairs: np.ndarray, query: QueryGraph
+        self,
+        graph: CSRGraph,
+        pairs: np.ndarray,
+        query: QueryGraph,
+        ctx=None,
+        side: str = "",
     ) -> tuple[set, int, int]:
         """Embeddings of ``query`` in ``graph`` using ≥ 1 edge of ``pairs``.
 
@@ -210,6 +233,7 @@ class IncrementalMatcher:
         """
         if len(pairs) == 0:
             return set(), 0, 0
+        t0_ms = time.time() * 1000.0
         run_cfg = self._anchor_config()
         cap = self.inc.max_anchor_matches
         rows = np.concatenate([pairs, pairs[:, ::-1]]).astype(np.int64)
@@ -224,7 +248,10 @@ class IncrementalMatcher:
                 enable_symmetry=False,
                 enable_reuse=run_cfg.enable_reuse,
             )
-            engine = TDFSEngine(run_cfg)
+            cfg = run_cfg
+            if ctx is not None:
+                cfg = self._anchor_config(ctx.child(anchor=f"{a}-{b}", side=side))
+            engine = TDFSEngine(cfg)
             result = engine._run_single(
                 graph,
                 plan,
@@ -240,6 +267,19 @@ class IncrementalMatcher:
             embeddings.update(found)
             tasks += len(rows)
             cycles += result.elapsed_cycles
+        if ctx is not None:
+            ops_tracer().record(
+                make_span(
+                    "delta.affected",
+                    ctx.child(stage="delta", side=side),
+                    t0_ms,
+                    time.time() * 1000.0,
+                    side=side,
+                    edges=int(len(pairs)),
+                    embeddings=len(embeddings),
+                    tasks=tasks,
+                )
+            )
         return embeddings, tasks, cycles
 
     def _to_instances(self, query: QueryGraph, num_embeddings: int) -> int:
@@ -281,6 +321,18 @@ class IncrementalMatcher:
         out.elapsed_cycles = result.elapsed_cycles
         out.host_ms = (time.perf_counter() - t0) * 1000.0
         out.result = result
+        ctx = self.config.trace_context
+        if ctx is not None:
+            end_ms = time.time() * 1000.0
+            ops_tracer().record(
+                make_span(
+                    "delta.fallback",
+                    ctx.child(stage="delta"),
+                    end_ms - out.host_ms,
+                    end_ms,
+                    reason=reason,
+                )
+            )
         self._publish(out)
         return out
 

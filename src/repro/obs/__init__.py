@@ -23,8 +23,22 @@ from __future__ import annotations
 
 from typing import Optional
 
+from .ops import (
+    FlightRecorder,
+    INCIDENT_FORMAT,
+    OpsTracer,
+    TraceContext,
+    load_incident,
+    make_incident,
+    make_span,
+    ops_tracer,
+    render_incident,
+    stitch_chrome,
+    write_incident,
+)
 from .registry import Counter, Gauge, Histogram, Registry, DEFAULT_BUCKETS
 from .sinks import LineProtocolSink, MemorySink, TSVSink
+from .slo import SLO, OutcomeWindow, SLOStatus, SLOTracker
 from .tracer import NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
@@ -41,6 +55,23 @@ __all__ = [
     "NullTracer",
     "NULL_TRACER",
     "Observability",
+    # -- ops layer (cross-process tracing + flight recorder) ------------ #
+    "TraceContext",
+    "OpsTracer",
+    "FlightRecorder",
+    "INCIDENT_FORMAT",
+    "make_span",
+    "ops_tracer",
+    "stitch_chrome",
+    "make_incident",
+    "write_incident",
+    "load_incident",
+    "render_incident",
+    # -- SLOs ------------------------------------------------------------ #
+    "SLO",
+    "SLOStatus",
+    "SLOTracker",
+    "OutcomeWindow",
 ]
 
 

@@ -1,0 +1,554 @@
+"""Operational observability: cross-process tracing + the flight recorder.
+
+PR 3's :class:`~repro.obs.tracer.Tracer` records *virtual-cycle* spans
+inside one engine run; this module follows one **serve request** across
+real processes and wall-clock time:
+
+* :class:`TraceContext` — the identity (trace id, span id, parent span,
+  baggage) minted per request and threaded AdmissionQueue → worker →
+  engine → shard subprocesses → incremental delta runs.  It is a frozen,
+  picklable value object: a shard worker unpickles the context it was
+  handed and stamps its spans with the *same* trace id, so the
+  coordinator can stitch one timeline out of many processes.
+* span dicts + :class:`OpsTracer` — finished spans are plain dicts
+  (pickle- and JSON-friendly by construction; they cross process
+  boundaries inside ``MatchResult.op_spans``), retained in a bounded
+  ring per process.
+* :func:`stitch_chrome` — spans → one Chrome ``trace_event`` document,
+  with per-pid process rows so a sharded request reads as a fan-out.
+* :class:`FlightRecorder` — a bounded ring of structured operational
+  events (admissions, redeliveries, breaker flips, shard deaths, delta
+  fallbacks, SLO breaches) with fault-kind callbacks that trigger
+  incident dumps.
+* incident bundles — one self-contained JSON file per incident: recent
+  events, the metric snapshot, active + finished spans, the stitched
+  Chrome trace, and the config fingerprints needed to reproduce.
+
+Everything here is wall-clock and stdlib-only; nothing touches the
+virtual-time simulation, so tracing on/off cannot change counts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, Optional
+
+from repro.errors import ReproError
+
+__all__ = [
+    "TraceContext",
+    "OpsTracer",
+    "FlightRecorder",
+    "INCIDENT_FORMAT",
+    "make_span",
+    "ops_tracer",
+    "stitch_chrome",
+    "make_incident",
+    "write_incident",
+    "load_incident",
+    "render_incident",
+]
+
+
+def _hex_id(nbytes: int) -> str:
+    return os.urandom(nbytes).hex()
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Identity of one request's position in a distributed trace.
+
+    ``baggage`` is a tuple of ``(key, value)`` string pairs (tuples keep
+    the dataclass hashable and cheaply picklable); it is inherited by
+    every child context, so a shard subprocess still knows which
+    ``request_id`` it is working for.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str] = None
+    baggage: tuple = ()
+
+    @classmethod
+    def mint(cls, **baggage: str) -> "TraceContext":
+        """A fresh root context (new trace id, no parent)."""
+        return cls(
+            trace_id=_hex_id(8),
+            span_id=_hex_id(4),
+            baggage=tuple(sorted((k, str(v)) for k, v in baggage.items())),
+        )
+
+    def child(self, **extra: str) -> "TraceContext":
+        """A child context: same trace, new span id, parent = this span."""
+        baggage = dict(self.baggage)
+        baggage.update({k: str(v) for k, v in extra.items()})
+        return replace(
+            self,
+            span_id=_hex_id(4),
+            parent_id=self.span_id,
+            baggage=tuple(sorted(baggage.items())),
+        )
+
+    def get(self, key: str, default: Optional[str] = None) -> Optional[str]:
+        for k, v in self.baggage:
+            if k == key:
+                return v
+        return default
+
+    def to_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "baggage": dict(self.baggage),
+        }
+
+
+def make_span(
+    name: str,
+    ctx: TraceContext,
+    start_ms: float,
+    end_ms: float,
+    **tags,
+) -> dict:
+    """One finished span as a plain dict (the cross-process wire format).
+
+    ``start_ms`` / ``end_ms`` are unix-epoch milliseconds
+    (``time.time() * 1000``) so spans from different processes share one
+    clock; ``pid`` is stamped by the *recording* process, which is what
+    lets :func:`stitch_chrome` prove a trace crossed process boundaries.
+    """
+    span = {
+        "name": name,
+        "trace_id": ctx.trace_id,
+        "span_id": ctx.span_id,
+        "parent_id": ctx.parent_id,
+        "pid": os.getpid(),
+        "tid": threading.get_ident() & 0xFFFF,
+        "start_ms": round(float(start_ms), 3),
+        "dur_ms": round(max(0.0, float(end_ms) - float(start_ms)), 3),
+    }
+    if tags:
+        span["tags"] = {k: v for k, v in tags.items()}
+    return span
+
+
+class _SpanHandle:
+    """An open span: context + start time, finished via the tracer."""
+
+    __slots__ = ("name", "ctx", "start_ms", "tags")
+
+    def __init__(self, name: str, ctx: TraceContext, tags: dict) -> None:
+        self.name = name
+        self.ctx = ctx
+        self.start_ms = time.time() * 1000.0
+        self.tags = tags
+
+
+class OpsTracer:
+    """Per-process collector of wall-clock operational spans.
+
+    Thread-safe; keeps the most recent ``max_spans`` finished spans (a
+    serving process runs forever — unbounded retention is an OOM) plus
+    the set of currently-open spans, which the flight recorder dumps so
+    an incident shows what was *in flight* when it happened.
+    """
+
+    def __init__(self, max_spans: int = 4096) -> None:
+        self._lock = threading.Lock()
+        self._spans: deque[dict] = deque(maxlen=max(1, int(max_spans)))
+        self._active: dict[int, _SpanHandle] = {}
+        self._next_handle = 0
+
+    # -- recording ------------------------------------------------------ #
+
+    def start(
+        self,
+        name: str,
+        ctx: Optional[TraceContext] = None,
+        parent: Optional[TraceContext] = None,
+        **tags,
+    ) -> _SpanHandle:
+        """Open a span.  ``ctx`` *is* the span's identity when given;
+        otherwise a child of ``parent`` (or a fresh root) is minted."""
+        if ctx is None:
+            ctx = parent.child() if parent is not None else TraceContext.mint()
+        handle = _SpanHandle(name, ctx, tags)
+        with self._lock:
+            self._next_handle += 1
+            handle_id = self._next_handle
+            self._active[handle_id] = handle
+        handle.tags["_handle"] = handle_id
+        return handle
+
+    def finish(self, handle: _SpanHandle, **tags) -> dict:
+        """Close a span; returns (and retains) the finished span dict."""
+        handle_id = handle.tags.pop("_handle", None)
+        merged = dict(handle.tags)
+        merged.update(tags)
+        span = make_span(
+            handle.name,
+            handle.ctx,
+            handle.start_ms,
+            time.time() * 1000.0,
+            **merged,
+        )
+        with self._lock:
+            if handle_id is not None:
+                self._active.pop(handle_id, None)
+            self._spans.append(span)
+        return span
+
+    def record(self, span: dict) -> None:
+        """Retain an already-finished span dict (e.g. built explicitly)."""
+        with self._lock:
+            self._spans.append(span)
+
+    def adopt(self, spans: Optional[Iterable[dict]]) -> int:
+        """Fold spans recorded in *another* process (shipped back inside
+        ``MatchResult.op_spans``) into this process's ring."""
+        if not spans:
+            return 0
+        n = 0
+        with self._lock:
+            for span in spans:
+                self._spans.append(span)
+                n += 1
+        return n
+
+    class _SpanCtx:
+        def __init__(self, tracer: "OpsTracer", handle: _SpanHandle) -> None:
+            self.tracer = tracer
+            self.handle = handle
+            self.ctx = handle.ctx
+
+        def __enter__(self) -> "OpsTracer._SpanCtx":
+            return self
+
+        def __exit__(self, exc_type, exc, tb) -> None:
+            tags = {"error": type(exc).__name__} if exc_type is not None else {}
+            self.tracer.finish(self.handle, **tags)
+
+    def span(
+        self,
+        name: str,
+        ctx: Optional[TraceContext] = None,
+        parent: Optional[TraceContext] = None,
+        **tags,
+    ) -> "OpsTracer._SpanCtx":
+        """Context manager: ``with tracer.span("x", parent=c) as s: ...``."""
+        return OpsTracer._SpanCtx(self, self.start(name, ctx=ctx, parent=parent, **tags))
+
+    # -- introspection -------------------------------------------------- #
+
+    def spans(
+        self, trace_id: Optional[str] = None, last: Optional[int] = None
+    ) -> list[dict]:
+        with self._lock:
+            out = list(self._spans)
+        if trace_id is not None:
+            out = [s for s in out if s.get("trace_id") == trace_id]
+        if last is not None:
+            out = out[-last:]
+        return out
+
+    def active_spans(self) -> list[dict]:
+        """Open spans as dicts (dur_ms = elapsed so far)."""
+        now_ms = time.time() * 1000.0
+        with self._lock:
+            handles = list(self._active.values())
+        out = []
+        for h in handles:
+            tags = {k: v for k, v in h.tags.items() if k != "_handle"}
+            span = make_span(h.name, h.ctx, h.start_ms, now_ms, **tags)
+            span["active"] = True
+            out.append(span)
+        return out
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+            self._active.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+
+_PROCESS_TRACER: Optional[OpsTracer] = None
+_PROCESS_TRACER_LOCK = threading.Lock()
+
+
+def ops_tracer() -> OpsTracer:
+    """The process-wide tracer (one ring per process, lazily created)."""
+    global _PROCESS_TRACER
+    with _PROCESS_TRACER_LOCK:
+        if _PROCESS_TRACER is None:
+            _PROCESS_TRACER = OpsTracer()
+        return _PROCESS_TRACER
+
+
+# --------------------------------------------------------------------------- #
+# Chrome-trace stitching
+# --------------------------------------------------------------------------- #
+
+
+def stitch_chrome(spans: Iterable[dict]) -> dict:
+    """Span dicts (any mix of processes) → one Chrome trace document.
+
+    Timestamps are unix-epoch microseconds, so spans recorded by a shard
+    subprocess line up with the coordinator's on one shared axis; each
+    distinct pid gets a named process row.
+    """
+    events = []
+    pids = {}
+    for span in spans:
+        pid = span.get("pid", 0)
+        pids.setdefault(pid, len(pids))
+        args = {
+            "trace_id": span.get("trace_id"),
+            "span_id": span.get("span_id"),
+            "parent_id": span.get("parent_id"),
+        }
+        args.update(span.get("tags") or {})
+        events.append(
+            {
+                "name": span.get("name", "?"),
+                "ph": "X",
+                "ts": round(span.get("start_ms", 0.0) * 1000.0, 1),
+                "dur": round(span.get("dur_ms", 0.0) * 1000.0, 1),
+                "pid": pid,
+                "tid": span.get("tid", 0),
+                "args": args,
+            }
+        )
+    for pid, index in sorted(pids.items(), key=lambda kv: kv[1]):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "args": {"name": f"repro pid {pid}"},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+# --------------------------------------------------------------------------- #
+# Flight recorder
+# --------------------------------------------------------------------------- #
+
+#: Event kinds that count as faults: recording one fires the recorder's
+#: ``on_fault`` callbacks (which is how dump-on-error triggers).
+FAULT_EVENT_KINDS = frozenset(
+    {
+        "worker.crash",
+        "worker.stall",
+        "request.error",
+        "quarantine",
+        "shard.failure",
+        "slo.breach",
+    }
+)
+
+
+class FlightRecorder:
+    """Bounded ring buffer of structured operational events.
+
+    Events are plain dicts stamped with a process-local sequence number
+    and a unix-epoch-millisecond timestamp.  Kinds in ``fault_kinds``
+    fire ``on_fault(event)`` callbacks *after* the event is retained, so
+    a dump triggered by the event includes it.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 512,
+        clock: Callable[[], float] = time.time,
+        fault_kinds: frozenset = FAULT_EVENT_KINDS,
+    ) -> None:
+        self._lock = threading.Lock()
+        self._events: deque[dict] = deque(maxlen=max(1, int(capacity)))
+        self._clock = clock
+        self._seq = 0
+        self._counts: dict[str, int] = {}
+        self.fault_kinds = frozenset(fault_kinds)
+        self._on_fault: list[Callable[[dict], None]] = []
+
+    def on_fault(self, callback: Callable[[dict], None]) -> None:
+        """Register a callback fired for every fault-kind event."""
+        with self._lock:
+            self._on_fault.append(callback)
+
+    def record(self, kind: str, **fields) -> dict:
+        """Append one event; returns the stored dict."""
+        with self._lock:
+            self._seq += 1
+            event = {
+                "seq": self._seq,
+                "t_unix_ms": round(self._clock() * 1000.0, 3),
+                "kind": kind,
+            }
+            event.update(fields)
+            self._events.append(event)
+            self._counts[kind] = self._counts.get(kind, 0) + 1
+            callbacks = list(self._on_fault) if kind in self.fault_kinds else ()
+        for cb in callbacks:
+            try:
+                cb(event)
+            except Exception:  # a dump failure must never break serving
+                pass
+        return event
+
+    def events(
+        self, last: Optional[int] = None, kind: Optional[str] = None
+    ) -> list[dict]:
+        with self._lock:
+            out = list(self._events)
+        if kind is not None:
+            out = [e for e in out if e.get("kind") == kind]
+        if last is not None:
+            out = out[-last:]
+        return out
+
+    def counts(self) -> dict[str, int]:
+        """All-time per-kind event counts (survive ring eviction)."""
+        with self._lock:
+            return dict(sorted(self._counts.items()))
+
+    def snapshot(self) -> dict:
+        return {"counts": self.counts(), "events": self.events()}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+
+# --------------------------------------------------------------------------- #
+# Incident bundles
+# --------------------------------------------------------------------------- #
+
+INCIDENT_FORMAT = "repro.incident.v1"
+
+
+def make_incident(
+    reason: str,
+    recorder: Optional[FlightRecorder] = None,
+    tracer: Optional[OpsTracer] = None,
+    metrics: Optional[dict] = None,
+    slos: Optional[list] = None,
+    fingerprints: Optional[dict] = None,
+    info: Optional[dict] = None,
+) -> dict:
+    """Assemble one self-contained incident bundle (a JSON-ready dict)."""
+    spans = tracer.spans() if tracer is not None else []
+    active = tracer.active_spans() if tracer is not None else []
+    return {
+        "format": INCIDENT_FORMAT,
+        "reason": reason,
+        "created_unix_ms": round(time.time() * 1000.0, 3),
+        "pid": os.getpid(),
+        "info": dict(info or {}),
+        "fingerprints": dict(fingerprints or {}),
+        "metrics": metrics or {},
+        "slos": list(slos or []),
+        "flight": recorder.snapshot() if recorder is not None else {},
+        "active_spans": active,
+        "spans": spans,
+        "chrome_trace": stitch_chrome(spans + active),
+    }
+
+
+def write_incident(bundle: dict, path: str) -> str:
+    """Write a bundle as pretty JSON; returns the path."""
+    with open(path, "w") as fh:
+        json.dump(bundle, fh, indent=2, sort_keys=False, default=str)
+        fh.write("\n")
+    return path
+
+
+def load_incident(path: str) -> dict:
+    """Load + validate an incident bundle; typed error on a bad file."""
+    try:
+        with open(path) as fh:
+            bundle = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(f"cannot read incident bundle {path!r}: {exc}") from None
+    if not isinstance(bundle, dict) or bundle.get("format") != INCIDENT_FORMAT:
+        raise ReproError(
+            f"{path!r} is not a {INCIDENT_FORMAT} bundle "
+            f"(format={bundle.get('format') if isinstance(bundle, dict) else '?'!r})"
+        )
+    return bundle
+
+
+def render_incident(bundle: dict, last_events: int = 20) -> str:
+    """Human-readable incident report (the ``repro incident`` output)."""
+    lines = [f"=== repro incident: {bundle.get('reason', '?')} ==="]
+    created = bundle.get("created_unix_ms", 0) / 1000.0
+    stamp = time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(created))
+    lines.append(f"captured          : {stamp} (pid {bundle.get('pid', '?')})")
+    info = bundle.get("info") or {}
+    for key in sorted(info):
+        lines.append(f"{key:<18}: {info[key]}")
+    fps = bundle.get("fingerprints") or {}
+    if fps:
+        lines.append(
+            "fingerprints      : "
+            + ", ".join(f"{k}={v}" for k, v in sorted(fps.items()))
+        )
+    metrics = bundle.get("metrics") or {}
+    counters = metrics.get("counters") or {}
+    if counters:
+        lines.append(
+            "requests          : "
+            f"{counters.get('submitted', 0)} submitted, "
+            f"{counters.get('completed', 0)} completed, "
+            f"{counters.get('errors', 0)} errors"
+        )
+    slos = bundle.get("slos") or []
+    for slo in slos:
+        status = "BREACH" if slo.get("alerting") else "ok"
+        burns = slo.get("burn_rates") or {}
+        burn_txt = ", ".join(
+            f"{w}: {b:.2f}" for w, b in sorted(burns.items(), key=lambda kv: kv[0])
+        )
+        lines.append(f"slo {slo.get('name', '?'):<14}: {status} ({burn_txt})")
+    flight = bundle.get("flight") or {}
+    kind_counts = flight.get("counts") or {}
+    if kind_counts:
+        lines.append(
+            "event counts      : "
+            + ", ".join(f"{k}={v}" for k, v in sorted(kind_counts.items()))
+        )
+    events = (flight.get("events") or [])[-last_events:]
+    if events:
+        lines.append(f"last {len(events)} events:")
+        for e in events:
+            extras = {
+                k: v
+                for k, v in e.items()
+                if k not in ("seq", "t_unix_ms", "kind")
+            }
+            detail = " ".join(f"{k}={v}" for k, v in sorted(extras.items()))
+            lines.append(f"  #{e.get('seq', '?'):<5} {e.get('kind', '?'):<18} {detail}")
+    spans = bundle.get("spans") or []
+    active = bundle.get("active_spans") or []
+    trace_ids = {s.get("trace_id") for s in spans} - {None}
+    pid_set = {s.get("pid") for s in spans} - {None}
+    lines.append(
+        f"spans             : {len(spans)} finished "
+        f"({len(active)} active) across {len(trace_ids)} traces, "
+        f"{len(pid_set)} process(es)"
+    )
+    chrome = bundle.get("chrome_trace") or {}
+    lines.append(
+        f"chrome trace      : {len(chrome.get('traceEvents', []))} events "
+        "(load the bundle's chrome_trace key in about:tracing)"
+    )
+    return "\n".join(lines) + "\n"

@@ -25,8 +25,9 @@ from __future__ import annotations
 
 import bisect
 import threading
+import time
 from collections import deque
-from typing import Iterator, Optional, Sequence, Union
+from typing import Callable, Iterator, Optional, Sequence, Union
 
 __all__ = [
     "Counter",
@@ -157,6 +158,8 @@ class Histogram:
         "count",
         "total",
         "max",
+        "max_age_s",
+        "_clock",
         "_values",
         "_lock",
     )
@@ -168,6 +171,8 @@ class Histogram:
         window: int = 4096,
         help: str = "",
         lock: Optional[_LockLike] = None,
+        max_age_s: Optional[float] = None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         self.name = name
         self.help = help
@@ -179,7 +184,15 @@ class Histogram:
         self.count = 0
         self.total = 0.0
         self.max = 0.0
-        self._values: deque[float] = deque(maxlen=max(1, int(window)))
+        if max_age_s is not None and max_age_s <= 0:
+            raise ValueError("histogram max_age_s must be positive")
+        self.max_age_s = max_age_s
+        self._clock = clock if clock is not None else time.monotonic
+        # With max_age_s the window holds (t, value) pairs and rotation is
+        # time-driven: stale observations drop out of the percentile
+        # window whether or not anyone snapshots.  Without it the window
+        # is count-bounded only (the original behaviour).
+        self._values: deque = deque(maxlen=max(1, int(window)))
         self._lock = lock if lock is not None else _NULL_LOCK
 
     def observe(self, value: float) -> None:
@@ -190,23 +203,43 @@ class Histogram:
             self.total += value
             if value > self.max:
                 self.max = value
-            self._values.append(value)
+            if self.max_age_s is None:
+                self._values.append(value)
+            else:
+                now = self._clock()
+                self._values.append((now, value))
+                self._prune(now)
 
     #: Back-compat alias (the serving layer's original spelling).
     record = observe
 
+    def _prune(self, now: float) -> None:
+        """Drop window entries older than ``max_age_s`` (lock held)."""
+        horizon = now - self.max_age_s
+        while self._values and self._values[0][0] < horizon:
+            self._values.popleft()
+
+    def _window_values(self) -> list:
+        """Current (age-pruned) raw observations in the window."""
+        with self._lock:
+            if self.max_age_s is None:
+                return list(self._values)
+            self._prune(self._clock())
+            return [v for _, v in self._values]
+
     @property
     def mean(self) -> float:
         """Mean over the sliding window."""
-        if not self._values:
+        values = self._window_values()
+        if not values:
             return 0.0
-        return sum(self._values) / len(self._values)
+        return sum(values) / len(values)
 
     def percentile(self, p: float) -> float:
         """Window percentile via nearest-rank (``p`` in [0, 100])."""
-        if not self._values:
+        ordered = sorted(self._window_values())
+        if not ordered:
             return 0.0
-        ordered = sorted(self._values)
         rank = max(
             0, min(len(ordered) - 1, int(round(p / 100.0 * (len(ordered) - 1))))
         )
@@ -269,9 +302,17 @@ class Registry:
         buckets: Sequence[float] = DEFAULT_BUCKETS,
         window: int = 4096,
         help: str = "",
+        max_age_s: Optional[float] = None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> Histogram:
         return self._get_or_create(
-            name, Histogram, help=help, buckets=buckets, window=window
+            name,
+            Histogram,
+            help=help,
+            buckets=buckets,
+            window=window,
+            max_age_s=max_age_s,
+            clock=clock,
         )
 
     def _get_or_create(self, name: str, cls, **kwargs) -> Instrument:

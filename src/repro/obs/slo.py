@@ -1,0 +1,270 @@
+"""Declarative SLOs with multi-window burn-rate alerting.
+
+An :class:`SLO` states an objective over a sliding window of request
+outcomes — "99% of requests under 250 ms" (kind ``"latency"``) or
+"99.9% of requests succeed" (kind ``"error_rate"``).  The
+:class:`SLOTracker` evaluates every objective against the *same*
+:class:`OutcomeWindow` the serving metrics feed, so the published
+``slo.*`` gauges reconcile exactly with the windowed counts — no second
+bookkeeping path that can drift.
+
+Burn-rate math (the standard SRE formulation): with objective ``o``
+(fraction of good outcomes promised) the error *budget* is ``1 − o``;
+over a window with ``total`` outcomes of which ``bad`` violate the
+objective, the burn rate is::
+
+    burn = (bad / total) / (1 − o)
+
+``burn == 1`` means the budget is being spent exactly at the sustainable
+rate; ``burn ≥ burn_alert`` in **every** configured window (classic
+multi-window alerting: a short window for responsiveness and a long one
+to suppress blips) raises the alert.  Windows with zero outcomes are
+skipped — no traffic is not an outage.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import ReproError
+
+__all__ = ["OutcomeWindow", "SLO", "SLOStatus", "SLOTracker"]
+
+
+class OutcomeWindow:
+    """Sliding window of ``(t, latency_ms, error)`` request outcomes.
+
+    Bounded both by age (``max_age_s``) and count (``max_events``);
+    thread-safe; the clock is injectable so tests can drive time.  This
+    is the single source of truth shared by time-windowed qps, the SLO
+    tracker, and the ops console.
+    """
+
+    def __init__(
+        self,
+        max_age_s: float = 3600.0,
+        max_events: int = 65536,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_age_s <= 0:
+            raise ReproError("outcome window: max_age_s must be positive")
+        self.max_age_s = float(max_age_s)
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._events: deque[tuple[float, float, bool]] = deque(
+            maxlen=max(1, int(max_events))
+        )
+
+    def record(
+        self, latency_ms: float, error: bool = False, now: Optional[float] = None
+    ) -> None:
+        t = self.clock() if now is None else now
+        with self._lock:
+            self._events.append((t, float(latency_ms), bool(error)))
+            self._prune(t)
+
+    def _prune(self, now: float) -> None:
+        horizon = now - self.max_age_s
+        while self._events and self._events[0][0] < horizon:
+            self._events.popleft()
+
+    def counts(
+        self,
+        window_s: float,
+        now: Optional[float] = None,
+        threshold_ms: Optional[float] = None,
+    ) -> tuple[int, int, int]:
+        """``(total, errors, over_threshold)`` within the last ``window_s``.
+
+        ``over_threshold`` counts *successful* outcomes slower than
+        ``threshold_ms`` (0 when no threshold given); errors are counted
+        separately so latency SLOs do not double-charge failures.
+        """
+        t = self.clock() if now is None else now
+        horizon = t - float(window_s)
+        total = errors = over = 0
+        with self._lock:
+            for when, latency_ms, error in self._events:
+                if when < horizon:
+                    continue
+                total += 1
+                if error:
+                    errors += 1
+                elif threshold_ms is not None and latency_ms > threshold_ms:
+                    over += 1
+        return total, errors, over
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One declarative objective.
+
+    ``kind="latency"``: ``objective`` of requests complete within
+    ``threshold_ms`` (errors count as violations too — a failed request
+    was certainly not served within threshold).  ``kind="error_rate"``:
+    ``objective`` of requests succeed; ``threshold_ms`` is ignored.
+    """
+
+    name: str
+    kind: str = "latency"
+    objective: float = 0.99
+    threshold_ms: float = 250.0
+    windows_s: tuple = (60.0, 600.0)
+    burn_alert: float = 2.0
+    """Alert when the burn rate meets/exceeds this in every window."""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("latency", "error_rate"):
+            raise ReproError(
+                f"slo {self.name!r}: kind must be 'latency' or 'error_rate'"
+            )
+        if not (0.0 < self.objective < 1.0):
+            raise ReproError(
+                f"slo {self.name!r}: objective must be in (0, 1), "
+                f"got {self.objective}"
+            )
+        if self.kind == "latency" and self.threshold_ms <= 0:
+            raise ReproError(f"slo {self.name!r}: threshold_ms must be positive")
+        if not self.windows_s:
+            raise ReproError(f"slo {self.name!r}: needs at least one window")
+        if self.burn_alert <= 0:
+            raise ReproError(f"slo {self.name!r}: burn_alert must be positive")
+
+    @property
+    def budget(self) -> float:
+        return 1.0 - self.objective
+
+
+@dataclass
+class SLOStatus:
+    """Evaluation of one SLO at one instant."""
+
+    name: str
+    kind: str
+    objective: float
+    threshold_ms: float
+    burn_alert: float
+    burn_rates: dict
+    """Window label (``"60s"``) → burn rate (0.0 when the window saw no
+    traffic)."""
+    window_counts: dict
+    """Window label → ``(total, bad)`` outcome counts."""
+    alerting: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "objective": self.objective,
+            "threshold_ms": self.threshold_ms,
+            "burn_alert": self.burn_alert,
+            "burn_rates": dict(self.burn_rates),
+            "window_counts": {k: list(v) for k, v in self.window_counts.items()},
+            "alerting": self.alerting,
+        }
+
+
+class SLOTracker:
+    """Evaluates SLOs against an outcome window; publishes ``slo.*`` gauges.
+
+    ``registry`` is the serve metrics registry: each evaluation sets
+    ``slo.<name>.burn.<W>s`` per window (unrounded — tests assert exact
+    equality with a recomputation from the same window counts) and
+    ``slo.<name>.alert`` (0/1).  ``on_breach`` fires on the rising edge
+    of each SLO's alert, which is how breaches reach the flight recorder.
+    """
+
+    def __init__(
+        self,
+        slos: list[SLO],
+        window: OutcomeWindow,
+        registry=None,
+        on_breach: Optional[Callable[[SLOStatus], None]] = None,
+    ) -> None:
+        names = [s.name for s in slos]
+        if len(set(names)) != len(names):
+            raise ReproError(f"duplicate SLO names: {names}")
+        self.slos = list(slos)
+        self.window = window
+        self.registry = registry
+        self.on_breach = on_breach
+        self._alerting: dict[str, bool] = {s.name: False for s in slos}
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def burn_rate(total: int, bad: int, objective: float) -> float:
+        """The burn formula — exposed so tests reconcile gauges exactly."""
+        if total <= 0:
+            return 0.0
+        return (bad / total) / (1.0 - objective)
+
+    def _evaluate_one(self, slo: SLO, now: Optional[float]) -> SLOStatus:
+        burns: dict[str, float] = {}
+        counts: dict[str, tuple[int, int]] = {}
+        populated: list[float] = []
+        for window_s in slo.windows_s:
+            label = f"{int(window_s)}s"
+            if slo.kind == "latency":
+                total, errors, over = self.window.counts(
+                    window_s, now=now, threshold_ms=slo.threshold_ms
+                )
+                bad = errors + over
+            else:
+                total, errors, _ = self.window.counts(window_s, now=now)
+                bad = errors
+            burn = self.burn_rate(total, bad, slo.objective)
+            burns[label] = burn
+            counts[label] = (total, bad)
+            if total > 0:
+                populated.append(burn)
+        alerting = bool(populated) and all(
+            b >= slo.burn_alert for b in populated
+        )
+        return SLOStatus(
+            name=slo.name,
+            kind=slo.kind,
+            objective=slo.objective,
+            threshold_ms=slo.threshold_ms,
+            burn_alert=slo.burn_alert,
+            burn_rates=burns,
+            window_counts=counts,
+            alerting=alerting,
+        )
+
+    def evaluate(self, now: Optional[float] = None) -> list[SLOStatus]:
+        """Evaluate every SLO; publish gauges; fire rising-edge breaches."""
+        statuses = [self._evaluate_one(slo, now) for slo in self.slos]
+        breached: list[SLOStatus] = []
+        with self._lock:
+            for status in statuses:
+                if status.alerting and not self._alerting[status.name]:
+                    breached.append(status)
+                self._alerting[status.name] = status.alerting
+        if self.registry is not None:
+            for status in statuses:
+                for label, burn in status.burn_rates.items():
+                    self.registry.gauge(
+                        f"slo.{status.name}.burn.{label}"
+                    ).set(burn)
+                self.registry.gauge(f"slo.{status.name}.alert").set(
+                    1 if status.alerting else 0
+                )
+        if self.on_breach is not None:
+            for status in breached:
+                try:
+                    self.on_breach(status)
+                except Exception:  # alerting must never break serving
+                    pass
+        return statuses
+
+    def active_alerts(self) -> list[str]:
+        with self._lock:
+            return sorted(n for n, on in self._alerting.items() if on)

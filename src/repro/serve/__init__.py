@@ -14,7 +14,11 @@ A long-lived serving layer for repeated queries against evolving graphs:
 * supervised serving — worker watchdog with bounded redelivery, circuit
   breakers, poison-query quarantine, and checkpoint/resume of in-flight
   matches (:mod:`repro.serve.resilience`);
-* counters/histograms with a text report (:mod:`repro.serve.metrics`).
+* counters/histograms with a text report (:mod:`repro.serve.metrics`);
+* operational observability — per-request cross-process traces, a flight
+  recorder of structured events, SLO burn-rate alerting, and one-call
+  incident bundles (:mod:`repro.obs.ops` / :mod:`repro.obs.slo`, wired in
+  by the service; ``repro top`` renders the live console).
 
 See the "Serving" section of the README for an embed example and
 DESIGN.md for the cache-key scheme and the resilience design (§10).

@@ -55,6 +55,11 @@ class QueueEntry:
     checkpoint: object = field(default=None, compare=False, repr=False)
     """Latest :class:`~repro.serve.resilience.MatchCheckpoint` attached on
     redelivery, so the replacement worker resumes instead of restarting."""
+    trace: object = field(default=None, compare=False, repr=False)
+    """Root :class:`repro.obs.TraceContext` minted at admission — the
+    request's identity across queue, worker, engine, and (pickled) shard
+    processes.  Redelivery keeps the same root, so a crashed and resumed
+    request stitches into one trace."""
     _settle_lock: threading.Lock = field(
         default_factory=threading.Lock, compare=False, repr=False
     )

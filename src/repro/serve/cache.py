@@ -200,6 +200,12 @@ _CONFIG_FP_SKIP = frozenset(
         # conformance-tested equal to a full re-match; they cannot change
         # what a request returns.
         "incremental",
+        # Operational trace identity is per-request by construction; a
+        # request must hit the same cache entry traced or not.
+        "trace_context",
+        # Shard-kill chaos is recovered exactly (the coordinator re-executes
+        # dead shards), so counts are invariant — like fault_plan.
+        "shard_faults",
     }
 )
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 import time
 from typing import Optional
 
-from repro.obs import LineProtocolSink, Registry
+from repro.obs import LineProtocolSink, OutcomeWindow, Registry
 from repro.obs.registry import Histogram as _ObsHistogram
 
 #: Fixed bucket boundaries for latency histograms (milliseconds).
@@ -45,9 +45,17 @@ class Histogram(_ObsHistogram):
         buckets=LATENCY_BUCKETS_MS,
         help: str = "",
         lock=None,
+        max_age_s=None,
+        clock=None,
     ) -> None:
         super().__init__(
-            name=name, buckets=buckets, window=window, help=help, lock=lock
+            name=name,
+            buckets=buckets,
+            window=window,
+            help=help,
+            lock=lock,
+            max_age_s=max_age_s,
+            clock=clock,
         )
 
 
@@ -101,16 +109,29 @@ class ServeMetrics:
         self,
         latency_window: int = 16384,
         registry: Optional[Registry] = None,
+        window_s: Optional[float] = 300.0,
+        clock=None,
     ) -> None:
         self.registry = registry if registry is not None else Registry(threaded=True)
+        self.window_s = window_s
+        self._clock = clock if clock is not None else time.monotonic
         self.latency_ms = self.registry.histogram(
-            _PREFIX + "latency_ms", buckets=LATENCY_BUCKETS_MS, window=latency_window
+            _PREFIX + "latency_ms",
+            buckets=LATENCY_BUCKETS_MS,
+            window=latency_window,
+            max_age_s=window_s,
+            clock=clock,
         )
-        """End-to-end wall latency (submit -> response) per completed request."""
+        """End-to-end wall latency (submit -> response) per completed
+        request.  Percentiles rotate by *time* (``window_s``) as well as by
+        count, so an idle service's p99 decays instead of pinning to the
+        last burst."""
         self.queue_ms = self.registry.histogram(
             _PREFIX + "queue_wait_ms",
             buckets=LATENCY_BUCKETS_MS,
             window=latency_window,
+            max_age_s=window_s,
+            clock=clock,
         )
         """Admission-queue wait per executed request."""
         self.batch_size = self.registry.histogram(
@@ -133,6 +154,13 @@ class ServeMetrics:
             window=4096,
         )
         """Relative estimator-vs-actual cycle error per planner-fed run."""
+        self.outcomes = OutcomeWindow(
+            max_age_s=max(window_s or 0.0, 3600.0), clock=self._clock
+        )
+        """Per-request (latency, error) outcome stream over a sliding time
+        window — the ground truth :class:`repro.obs.SLOTracker` evaluates
+        burn rates against, kept here so gauges and counts reconcile
+        exactly (same clock, same stream)."""
         self._started = time.monotonic()
 
     # ------------------------------------------------------------------ #
@@ -169,6 +197,19 @@ class ServeMetrics:
     def set_pool_size(self, n: int) -> None:
         self._pool_size.set(n)
 
+    def record_outcome(
+        self, latency_ms: float, error: bool = False, now=None
+    ) -> None:
+        """Feed one request outcome into the SLO/windowed-qps stream."""
+        self.outcomes.record(latency_ms, error=error, now=now)
+
+    def windowed_qps(self, window_s: float = 60.0, now=None) -> float:
+        """Completed+errored requests per second over the last window."""
+        if window_s <= 0:
+            return 0.0
+        total, _, _ = self.outcomes.counts(window_s, now=now)
+        return total / window_s
+
     # ------------------------------------------------------------------ #
 
     @property
@@ -194,9 +235,16 @@ class ServeMetrics:
     def snapshot(self) -> dict:
         """All metrics as one JSON-compatible dict."""
         counters = self._counter_values()
+        total_60, errors_60, _ = self.outcomes.counts(60.0)
         return {
             "uptime_s": round(time.monotonic() - self._started, 3),
             "qps": round(self.qps_locked(counters["completed"]), 2),
+            "window_s": self.window_s,
+            "windowed": {
+                "requests_60s": total_60,
+                "errors_60s": errors_60,
+                "qps_60s": round(total_60 / 60.0, 3),
+            },
             "counters": counters,
             "queue": {
                 "depth": self._depth.value,

@@ -541,6 +541,14 @@ class Supervisor(threading.Thread):
         metrics.incr(
             "worker_crashes" if reason == "worker-crash" else "worker_stalls"
         )
+        flight = getattr(self.service, "flight", None)
+        if flight is not None:
+            flight.record(
+                "worker.crash" if reason == "worker-crash" else "worker.stall",
+                worker=worker.index,
+                slot=slot,
+                inflight=worker.unsettled_inflight(),
+            )
         for entry in worker.take_inflight():
             if not entry.settled:
                 self.redeliver(entry, reason)
@@ -555,6 +563,7 @@ class Supervisor(threading.Thread):
     def redeliver(self, entry: QueueEntry, reason: str) -> None:
         """Re-enqueue a lost entry, or quarantine it past its budget."""
         metrics = self.service.metrics
+        flight = getattr(self.service, "flight", None)
         self.breaker.record_failure(request_signature(entry))
         entry.redeliveries += 1
         if entry.redeliveries > self.config.max_redeliveries:
@@ -562,6 +571,14 @@ class Supervisor(threading.Thread):
             self.quarantine.poison(fingerprint, reason, entry.request_id)
             self.checkpoints.pop(entry.request_id)
             metrics.incr("quarantined")
+            if flight is not None:
+                flight.record(
+                    "quarantine",
+                    request_id=entry.request_id,
+                    reason=reason,
+                    redeliveries=entry.redeliveries,
+                    trace_id=getattr(entry.trace, "trace_id", None),
+                )
             self.service._settle_error(
                 entry,
                 f"POISONED ({reason} x{entry.redeliveries})",
@@ -573,6 +590,15 @@ class Supervisor(threading.Thread):
             # drain seal (but never a full close).
             self.service._queue.offer(entry, force=True)
             metrics.incr("redeliveries")
+            if flight is not None:
+                flight.record(
+                    "redelivery",
+                    request_id=entry.request_id,
+                    reason=reason,
+                    delivery=entry.redeliveries + 1,
+                    resumable=entry.checkpoint is not None,
+                    trace_id=getattr(entry.trace, "trace_id", None),
+                )
         except AdmissionRejected:
             self.service._settle_error(entry, "SHUTDOWN")
 
@@ -635,6 +661,14 @@ class Supervisor(threading.Thread):
         if new is BreakerState.OPEN:
             metrics.incr("breaker_opens")
         metrics.set_breaker_open(self.breaker.open_count())
+        flight = getattr(self.service, "flight", None)
+        if flight is not None:
+            flight.record(
+                "breaker.transition",
+                signature="/".join(str(p) for p in signature),
+                old=old.value,
+                new=new.value,
+            )
 
     # -- introspection --------------------------------------------------- #
 

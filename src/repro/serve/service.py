@@ -22,6 +22,7 @@ performance layers, never semantic ones.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from dataclasses import dataclass, field
@@ -33,6 +34,15 @@ from repro.core.result import MatchResult
 from repro.dynamic import DeltaBatch, IncrementalMatcher
 from repro.errors import ReproError, UnsupportedError
 from repro.graph.csr import CSRGraph
+from repro.obs.ops import (
+    FlightRecorder,
+    TraceContext,
+    make_incident,
+    make_span,
+    ops_tracer,
+    write_incident,
+)
+from repro.obs.slo import SLO, SLOTracker
 from repro.query.pattern import QueryGraph
 from repro.query.plan import MatchingPlan
 from repro.serve.batcher import AdmissionQueue, AdmissionRejected, QueueEntry
@@ -248,6 +258,25 @@ class ServeConfig:
     worker-stall chaos at checkpoint boundaries.  Setting it implies
     supervision (a default :class:`SupervisorConfig` is used if
     ``supervisor`` is ``None``)."""
+    slos: tuple = ()
+    """Declarative :class:`repro.obs.SLO` objectives evaluated against the
+    live outcome stream after every settled request; a rising-edge breach
+    records an ``slo.breach`` flight event (a fault kind, so it can
+    trigger an incident dump)."""
+    dump_on_error: Optional[str] = None
+    """Auto-dump an incident bundle the first time a fault-kind flight
+    event fires: a directory (bundles get timestamped names) or an
+    explicit ``*.json`` path.  ``None`` disables auto-dump;
+    :meth:`MatchService.dump_incident` always works."""
+    flight_events: int = 512
+    """Flight-recorder ring capacity (structured operational events)."""
+    metrics_window_s: Optional[float] = 300.0
+    """Latency-histogram rotation window: percentiles report the last
+    this-many seconds, not all-time.  ``None`` = count-bounded only."""
+    shard_faults: tuple = ()
+    """Shard indices whose worker process is killed on dispatch (applied
+    to ``match_config``; see :attr:`repro.core.TDFSConfig.shard_faults`).
+    Chaos-only: counts are recovered exactly by re-execution."""
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -258,6 +287,18 @@ class ServeConfig:
             raise ReproError("serve: shards must be >= 1")
         if self.shards > 1 and self.match_config.shards != self.shards:
             self.match_config = self.match_config.replace(shards=self.shards)
+        for slo in self.slos:
+            if not isinstance(slo, SLO):
+                raise ReproError(
+                    "serve: slos must be repro.obs.SLO objects, "
+                    f"got {type(slo).__name__}"
+                )
+        if self.shard_faults:
+            faults = tuple(self.shard_faults)
+            if self.match_config.shard_faults != faults:
+                self.match_config = self.match_config.replace(
+                    shard_faults=faults
+                )
 
 
 @dataclass
@@ -289,7 +330,28 @@ class MatchService:
         from repro.planner.feedback import PlanFeedbackStore
 
         self.config = config or ServeConfig()
-        self.metrics = ServeMetrics(self.config.latency_window)
+        self.metrics = ServeMetrics(
+            self.config.latency_window, window_s=self.config.metrics_window_s
+        )
+        self.tracer = ops_tracer()
+        """Process-wide operational span ring (see :mod:`repro.obs.ops`)."""
+        self.flight = FlightRecorder(capacity=self.config.flight_events)
+        """Structured operational event ring; fault kinds trigger dumps."""
+        self.slo_tracker: Optional[SLOTracker] = None
+        if self.config.slos:
+            self.slo_tracker = SLOTracker(
+                list(self.config.slos),
+                self.metrics.outcomes,
+                registry=self.metrics.registry,
+                on_breach=self._on_slo_breach,
+            )
+        self.incident_path: Optional[str] = None
+        """Path of the auto-dumped incident bundle (``None`` until a fault
+        fires with ``dump_on_error`` configured)."""
+        self._incident_lock = threading.Lock()
+        self._auto_dumped = False
+        if self.config.dump_on_error:
+            self.flight.on_fault(self._auto_dump)
         self.plan_cache = LRUCache(self.config.plan_cache_size)
         self.result_cache = LRUCache(self.config.result_cache_size)
         self.portfolio_cache = LRUCache(self.config.plan_cache_size)
@@ -383,6 +445,7 @@ class MatchService:
         once (same cache-invalidation semantics as :meth:`apply_edges`).
         """
         t0 = time.monotonic()
+        t_wall = time.time() * 1000.0
         self.metrics.incr("delta_requests")
         if engine not in available_engines():
             raise UnsupportedError(
@@ -394,6 +457,9 @@ class MatchService:
 
             query = get_pattern(query)
         cfg = config or self.config.match_config
+        trace = TraceContext.mint(kind="delta", graph=graph_id, engine=engine)
+        if cfg.trace_context is None:
+            cfg = cfg.replace(trace_context=trace)
         plan_fp = plan_fingerprint(query)
         config_fp = config_fingerprint(cfg)
         batch = DeltaBatch.make(add=add, remove=remove)
@@ -461,12 +527,30 @@ class MatchService:
             self.metrics.incr("delta_lost", response.lost)
         else:
             self.metrics.incr("delta_fallbacks")
+            self.flight.record(
+                "delta.fallback",
+                graph=graph_id,
+                query=q_name,
+                reason=response.fallback_reason,
+                trace_id=trace.trace_id,
+            )
         if self.config.enable_result_cache and response.result is not None:
             self.result_cache.put(
                 result_key(graph_id, version, plan_fp, engine, config_fp, 0),
                 response.result,
             )
         response.total_ms = (time.monotonic() - t0) * 1000.0
+        self.tracer.record(
+            make_span(
+                "serve.delta",
+                trace,
+                t_wall,
+                time.time() * 1000.0,
+                graph=graph_id,
+                query=q_name,
+                incremental=response.incremental,
+            )
+        )
         return response
 
     def graph(self, graph_id: str) -> CSRGraph:
@@ -643,12 +727,19 @@ class MatchService:
         engine.
         """
         t_submit = time.monotonic()
+        t_wall = time.time() * 1000.0
         prepared = self._prepare(request)
         with self._id_lock:
             self._next_id += 1
             rid = self._next_id
         self.metrics.incr("submitted")
         ticket = MatchTicket(rid)
+        trace = TraceContext.mint(
+            request_id=rid,
+            graph=request.graph_id,
+            engine=request.engine,
+            query=prepared.query_name,
+        )
 
         graph, version = self.resolve_graph(request.graph_id)
 
@@ -702,6 +793,17 @@ class MatchService:
                 self.metrics.incr("completed")
                 self.metrics.incr("result_cache_hits")
                 self.metrics.observe_latency(total_ms)
+                self.tracer.record(
+                    make_span(
+                        "serve.request",
+                        trace,
+                        t_wall,
+                        time.time() * 1000.0,
+                        request_id=rid,
+                        cache="hit",
+                    )
+                )
+                self._record_outcome(total_ms, error=False)
                 if self.supervisor is not None:
                     # A cache hit is a healthy outcome: it closes a
                     # half-open circuit's probe like any other success.
@@ -721,12 +823,26 @@ class MatchService:
             batch_key=(request.graph_id, request.engine, prepared.config_fp),
             submitted_at=t_submit,
             deadline_at=deadline_at,
+            trace=trace,
         )
         try:
             self._queue.offer(entry)
         except AdmissionRejected:
             self.metrics.incr("rejected")
+            self.flight.record(
+                "request.rejected",
+                request_id=rid,
+                graph=request.graph_id,
+                trace_id=trace.trace_id,
+            )
             raise
+        self.flight.record(
+            "request.admitted",
+            request_id=rid,
+            graph=request.graph_id,
+            query=prepared.query_name,
+            trace_id=trace.trace_id,
+        )
         self.metrics.set_queue_depth(self._queue.depth)
         return ticket
 
@@ -785,6 +901,14 @@ class MatchService:
         entry.ticket._complete(response)
         self.metrics.incr("completed")
         self.metrics.incr("errors")
+        self._record_outcome(response.total_ms, error=True)
+        self.flight.record(
+            "request.error",
+            request_id=entry.request_id,
+            marker=marker,
+            redeliveries=entry.redeliveries,
+            trace_id=getattr(entry.trace, "trace_id", None),
+        )
         return True
 
     def _shed(self, entry: QueueEntry) -> None:
@@ -792,12 +916,104 @@ class MatchService:
         if not entry.claim_settle():
             return
         self.metrics.incr("shed")
+        self.flight.record(
+            "request.shed",
+            request_id=entry.request_id,
+            priority=entry.priority,
+            trace_id=getattr(entry.trace, "trace_id", None),
+        )
+        self._record_outcome(
+            (time.monotonic() - entry.submitted_at) * 1000.0, error=True
+        )
         entry.ticket._fail(
             AdmissionRejected(
                 f"request {entry.request_id} shed under overload "
                 f"(priority {entry.priority})"
             )
         )
+
+    # ------------------------------------------------------------------ #
+    # Operational observability
+    # ------------------------------------------------------------------ #
+
+    def _record_outcome(self, latency_ms: float, error: bool = False) -> None:
+        """Feed a settled request into the SLO stream; evaluate burns."""
+        self.metrics.record_outcome(latency_ms, error=error)
+        if self.slo_tracker is not None:
+            self.slo_tracker.evaluate()
+
+    def _on_slo_breach(self, status) -> None:
+        """SLOTracker rising-edge callback → a fault-kind flight event."""
+        self.flight.record(
+            "slo.breach",
+            name=status.name,
+            slo_kind=status.kind,
+            burn_rates={k: round(v, 4) for k, v in status.burn_rates.items()},
+        )
+
+    def _auto_dump(self, event: dict) -> None:
+        """Flight-recorder fault callback: dump one bundle per service."""
+        with self._incident_lock:
+            if self._auto_dumped:
+                return
+            self._auto_dumped = True
+        self.incident_path = self.dump_incident(
+            reason=event.get("kind", "fault")
+        )
+
+    def dump_incident(self, reason: str, path: Optional[str] = None) -> str:
+        """Write a self-contained incident bundle; returns its path.
+
+        ``path=None`` resolves against ``ServeConfig.dump_on_error``: an
+        explicit ``*.json`` path is used as-is, anything else is treated
+        as a directory and gets a timestamped bundle name.
+        """
+        slos = (
+            [s.to_dict() for s in self.slo_tracker.evaluate()]
+            if self.slo_tracker is not None
+            else []
+        )
+        bundle = make_incident(
+            reason=reason,
+            recorder=self.flight,
+            tracer=self.tracer,
+            metrics=self.snapshot(),
+            slos=slos,
+            info={
+                "workers": self.config.workers,
+                "graphs": ", ".join(sorted(self.graphs())) or "(none)",
+                "draining": self._draining,
+            },
+        )
+        if path is None:
+            base = self.config.dump_on_error or "."
+            if base.endswith(".json"):
+                path = base
+            else:
+                os.makedirs(base, exist_ok=True)
+                path = os.path.join(
+                    base,
+                    f"incident-{int(time.time() * 1000)}-{os.getpid()}.json",
+                )
+        return write_incident(bundle, path)
+
+    def ops_snapshot(self) -> dict:
+        """Everything the live ops console renders, one JSON dict."""
+        snap = self.snapshot()
+        if self.slo_tracker is not None:
+            snap["slos"] = [s.to_dict() for s in self.slo_tracker.evaluate()]
+            snap["alerts"] = self.slo_tracker.active_alerts()
+        else:
+            snap["slos"] = []
+            snap["alerts"] = []
+        snap["flight"] = self.flight.counts()
+        snap["qps_60s"] = round(self.metrics.windowed_qps(60.0), 3)
+        snap["spans_recorded"] = len(self.tracer)
+        snap["incident_path"] = self.incident_path
+        from repro.obs.console import shard_utilization
+
+        snap["shard_util"] = shard_utilization(self.tracer.spans())
+        return snap
 
     # ------------------------------------------------------------------ #
     # Planner feedback

@@ -39,6 +39,7 @@ from repro.core.engine import make_engine
 from repro.errors import ReproError, UnsupportedError
 from repro.faults.recovery import deadline_policy
 from repro.faults.workers import WorkerCrash
+from repro.obs.ops import make_span, ops_tracer
 from repro.query.plan import MatchingPlan
 from repro.serve.batcher import QueueEntry
 from repro.serve.cache import plan_key, result_key
@@ -276,6 +277,23 @@ class Worker(threading.Thread):
 
         breaker_sig = (request.graph_id, prepared.plan_fp)
 
+        # The request's trace identity, minted at admission.  The worker's
+        # serve.request span uses the root context *as* its identity (so
+        # engine/shard children parent to it); redelivery reuses the same
+        # root, stitching the crashed and resumed attempts into one trace.
+        trace = entry.trace
+        handle = (
+            ops_tracer().start(
+                "serve.request",
+                ctx=trace,
+                worker=self.index,
+                request_id=entry.request_id,
+                delivery=entry.redeliveries,
+            )
+            if trace is not None
+            else None
+        )
+
         def finish(response) -> None:
             # Settle-once: a redelivered entry may be finished by both the
             # zombie and the replacement; only the first response lands.
@@ -286,9 +304,22 @@ class Worker(threading.Thread):
             response.batch_size = batch_size
             response.redeliveries = entry.redeliveries
             response.total_ms = (time.monotonic() - entry.submitted_at) * 1000.0
-            entry.ticket._complete(response)
-            metrics.incr("completed")
-            metrics.observe_latency(response.total_ms)
+            # Record telemetry BEFORE completing the ticket: a caller woken
+            # by query() must observe the outcome already folded into the
+            # SLO gauges (and any breach-triggered incident dump started).
+            try:
+                metrics.incr("completed")
+                metrics.observe_latency(response.total_ms)
+                if handle is not None:
+                    tags = {"resumed": response.resumed}
+                    if response.error is not None:
+                        tags["error"] = response.error
+                    ops_tracer().finish(handle, **tags)
+                service._record_outcome(
+                    response.total_ms, error=response.error is not None
+                )
+            finally:
+                entry.ticket._complete(response)
             if response.degraded:
                 metrics.incr("degraded")
             if response.error is not None and response.error != "DEADLINE":
@@ -337,6 +368,12 @@ class Worker(threading.Thread):
                 return
 
         config = prepared.config
+        if trace is not None and getattr(config, "trace_context", None) is None:
+            # Thread the request's identity into the engine config BEFORE
+            # the engine is built: the shard coordinator (and, pickled
+            # inside the config, shard worker processes) stamp their spans
+            # with this child, so the whole fan-out stitches to the request.
+            config = config.replace(trace_context=trace.child(stage="run"))
         if entry.deadline_at is not None:
             remaining_ms = (entry.deadline_at - time.monotonic()) * 1000.0
             policy, rungs = deadline_policy(
@@ -413,6 +450,7 @@ class Worker(threading.Thread):
                 (time.monotonic() - checkpoint.taken_at) * 1000.0
             )
             t0 = time.monotonic()
+            t0_wall = time.time() * 1000.0
             try:
                 result = engine.run_resume(
                     graph, plan, checkpoint.groups, base_count=checkpoint.count
@@ -431,11 +469,24 @@ class Worker(threading.Thread):
             base.result = result
             base.error = result.error
             base.resumed = True
+            if trace is not None:
+                ops_tracer().record(
+                    make_span(
+                        "engine.resume",
+                        trace.child(stage="engine"),
+                        t0_wall,
+                        time.time() * 1000.0,
+                        engine=request.engine,
+                        count=result.count,
+                    )
+                )
+            self._flight_shard_failures(entry, result)
             record_feedback(result)
             finish(base)
             return
 
         t0 = time.monotonic()
+        t0_wall = time.time() * 1000.0
         try:
             if request.collect_matches and self._accepts_collect(request.engine):
                 result = engine.run(
@@ -456,6 +507,18 @@ class Worker(threading.Thread):
         base.run_ms = (time.monotonic() - t0) * 1000.0
         base.result = result
         base.error = result.error
+        if trace is not None:
+            ops_tracer().record(
+                make_span(
+                    "engine.run",
+                    trace.child(stage="engine"),
+                    t0_wall,
+                    time.time() * 1000.0,
+                    engine=request.engine,
+                    count=result.count,
+                )
+            )
+        self._flight_shard_failures(entry, result)
         record_feedback(result)
         if entry.deadline_at is not None and time.monotonic() > entry.deadline_at:
             base.deadline_missed = True
@@ -532,6 +595,23 @@ class Worker(threading.Thread):
             params = inspect.signature(engine.run).parameters
             self._run_accepts_collect[name] = "collect_matches" in params
         return self._run_accepts_collect[name]
+
+    def _flight_shard_failures(self, entry: QueueEntry, result) -> None:
+        """Record a shard-process death (recovered by re-execution) as a
+        fault-kind flight event — the count survived, the process didn't."""
+        failures = (getattr(result, "metrics", None) or {}).get(
+            "shard.process_failures", 0
+        )
+        if failures:
+            self.service.flight.record(
+                "shard.failure",
+                request_id=entry.request_id,
+                failures=int(failures),
+                rows_reexecuted=int(
+                    (result.metrics or {}).get("shard.rows_reexecuted", 0)
+                ),
+                trace_id=getattr(entry.trace, "trace_id", None),
+            )
 
     def _respond_error(self, entry: QueueEntry, marker: str) -> None:
         if self.service._settle_error(entry, marker):

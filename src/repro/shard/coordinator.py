@@ -28,6 +28,7 @@ never loses or double-counts a match.  The recovery accounting lands in
 from __future__ import annotations
 
 import os
+import time
 from typing import TYPE_CHECKING, Optional, Union
 
 import numpy as np
@@ -37,6 +38,7 @@ from repro.core.result import MatchResult
 from repro.errors import ReproError, UnsupportedError
 from repro.faults.recovery import WorkGroup, pending_rows, reshard_groups
 from repro.graph.csr import CSRGraph
+from repro.obs.ops import make_span, ops_tracer
 from repro.query.plan import MatchingPlan
 from repro.shard.planner import ShardPlan, ShardPlanner
 
@@ -105,7 +107,8 @@ def _run_shard(
 
     engine = make_engine(engine_name, config)
     edges, deep = _split_groups(groups)
-    return engine._run_single(
+    t0 = time.time() * 1000.0
+    result = engine._run_single(
         graph,
         plan,
         edges,
@@ -113,6 +116,22 @@ def _run_shard(
         collect_matches=collect_matches,
         resume=deep or None,
     )
+    ctx = getattr(config, "trace_context", None)
+    if ctx is not None:
+        # Recorded here — inside the (possibly forked) worker process — so
+        # the span's pid proves which process ran the shard.  It travels
+        # back to the coordinator inside the pickled result.
+        span = make_span(
+            "shard.run",
+            ctx,
+            t0,
+            time.time() * 1000.0,
+            shard=shard_index,
+            rows=int(len(edges)),
+            count=int(result.count),
+        )
+        result.op_spans = (result.op_spans or []) + [span]
+    return result
 
 
 def merge_shard_results(
@@ -156,6 +175,10 @@ class ShardCoordinator:
         self.strategy = strategy if strategy is not None else cfg.shard_strategy
         self.mode = mode
         self.max_workers = max_workers
+        if not fault_shards:
+            # The config-level fault axis (ServeConfig/CLI wiring) applies
+            # when the caller did not inject shard deaths directly.
+            fault_shards = frozenset(getattr(cfg, "shard_faults", ()) or ())
         self.fault_shards = frozenset(fault_shards)
         self.planner = ShardPlanner(self.num_shards, self.strategy)
         self.child_config = _child_config(cfg)
@@ -178,8 +201,11 @@ class ShardCoordinator:
         """
         plan = self.engine.compile(query, graph)
         shard_plan = self.planner.plan(graph)
+        ctx = getattr(self.engine.config, "trace_context", None)
+        dispatch_ctx = ctx.child(stage="shard") if ctx is not None else None
+        t_dispatch = time.time() * 1000.0
         per_shard, failures, reexecuted = self._execute(
-            graph, plan, shard_plan, collect_matches
+            graph, plan, shard_plan, collect_matches, dispatch_ctx
         )
         merged = merge_shard_results(per_shard, self.num_shards)
         if failures:
@@ -187,6 +213,21 @@ class ShardCoordinator:
             merged.recovery.faults_survived += failures
             merged.recovery.tasks_reexecuted += reexecuted
         self._finalize_metrics(merged, shard_plan, failures, reexecuted)
+        if dispatch_ctx is not None:
+            # One parent span for the fan-out, plus adoption of every
+            # child-process span into this process's tracer ring — the
+            # service (or `repro top`) reads one stitched timeline.
+            span = make_span(
+                "shard.dispatch",
+                dispatch_ctx,
+                t_dispatch,
+                time.time() * 1000.0,
+                shards=self.num_shards,
+                failures=failures,
+                rows_reexecuted=reexecuted,
+            )
+            merged.op_spans = (merged.op_spans or []) + [span]
+            ops_tracer().adopt(merged.op_spans)
         if collect_matches:
             merged.matches = []
             for r in per_shard:
@@ -205,12 +246,27 @@ class ShardCoordinator:
         plan: MatchingPlan,
         shard_plan: ShardPlan,
         collect_matches: int,
+        dispatch_ctx=None,
     ) -> tuple[list[MatchResult], int, int]:
         """Run every shard; returns ``(results, failed_shards, rows_rerun)``."""
+
+        def shard_config(s: int, reexec: bool = False):
+            if dispatch_ctx is None:
+                return self.child_config
+            extra = {"shard": str(s)}
+            if reexec:
+                extra["reexec"] = "1"
+            # A fresh child context per shard: the pickled config carries
+            # the identity into the worker process, where _run_shard
+            # stamps the shard.run span with it.
+            return self.child_config.replace(
+                trace_context=dispatch_ctx.child(**extra)
+            )
+
         jobs = [
             (
                 self.engine.name,
-                self.child_config,
+                shard_config(s),
                 graph,
                 plan,
                 shard_plan.shards[s],
@@ -233,7 +289,12 @@ class ShardCoordinator:
         reexecuted = 0
         for s in dead:
             rescue, rows = self._reexecute(
-                graph, plan, shard_plan.shards[s], s, collect_matches
+                graph,
+                plan,
+                shard_plan.shards[s],
+                s,
+                collect_matches,
+                config=shard_config(s, reexec=True),
             )
             results[s] = rescue
             reexecuted += rows
@@ -284,6 +345,7 @@ class ShardCoordinator:
         groups: list[WorkGroup],
         shard_index: int,
         collect_matches: int,
+        config=None,
     ) -> tuple[MatchResult, int]:
         """Recover a dead shard: reshard its groups, run them inline.
 
@@ -298,7 +360,7 @@ class ShardCoordinator:
         sub_results = [
             _run_shard(
                 self.engine.name,
-                self.child_config,
+                config if config is not None else self.child_config,
                 graph,
                 plan,
                 sub,

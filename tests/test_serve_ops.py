@@ -1,0 +1,387 @@
+"""Integration tests for serving-stack observability (repro.obs.ops PR).
+
+The acceptance criteria of the PR are asserted here directly:
+
+* the ``slo.*`` burn-rate gauges published by a live service reconcile
+  **exactly** with the windowed counts in ``ServeMetrics`` (no second
+  bookkeeping path);
+* a faulted run produces an incident bundle whose stitched Chrome trace
+  contains the failing request's spans across at least two processes
+  (coordinator + shard worker);
+* worker-kill faults (the ``repro.faults`` axis) trigger dump-on-error
+  with a parseable, renderable bundle.
+
+Plus: time-driven ServeMetrics windows, the ops console renderer and its
+sink-tail parsers, and the ``repro top`` / ``repro incident`` CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro import TDFSConfig, from_edges
+from repro.cli import main
+from repro.core.engine import match
+from repro.faults import WorkerFaultKind, WorkerFaultPlan, WorkerFaultSpec
+from repro.obs import SLO, SLOTracker, load_incident
+from repro.obs.console import (
+    flat_from_line_protocol,
+    flat_from_tsv,
+    render_top,
+    shard_utilization,
+    snapshot_from_flat,
+    tail_metrics,
+)
+from repro.serve import MatchRequest, MatchService, ServeConfig, ServeMetrics
+
+
+@pytest.fixture
+def k5():
+    edges = [(i, j) for i in range(5) for j in range(i + 1, 5)]
+    return from_edges(edges, name="k5")
+
+
+def _service(**overrides) -> MatchService:
+    defaults = dict(
+        workers=1,
+        batch_window_ms=0.0,
+        match_config=TDFSConfig(num_warps=4),
+    )
+    defaults.update(overrides)
+    return MatchService(ServeConfig(**defaults))
+
+
+# --------------------------------------------------------------------------- #
+# ServeMetrics time windows
+# --------------------------------------------------------------------------- #
+
+
+class FakeClock:
+    def __init__(self, t: float = 1000.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+
+class TestServeMetricsWindows:
+    def test_latency_percentiles_rotate_with_time(self):
+        clock = FakeClock()
+        metrics = ServeMetrics(window_s=60.0, clock=clock)
+        metrics.observe_latency(500.0)
+        clock.t += 61.0
+        metrics.observe_latency(2.0)
+        snap = metrics.snapshot()
+        assert snap["window_s"] == 60.0
+        assert snap["latency_ms"]["p99"] == 2.0  # the spike aged out
+        assert snap["latency_ms"]["count"] == 2  # cumulative count kept
+
+    def test_windowed_qps_and_snapshot_reconcile(self):
+        clock = FakeClock()
+        metrics = ServeMetrics(clock=clock)
+        for _ in range(6):
+            metrics.record_outcome(10.0)
+        metrics.record_outcome(10.0, error=True)
+        clock.t += 30.0
+        assert metrics.windowed_qps(60.0) == pytest.approx(7 / 60.0)
+        windowed = metrics.snapshot()["windowed"]
+        assert windowed["requests_60s"] == 7
+        assert windowed["errors_60s"] == 1
+        clock.t += 31.0  # everything now older than 60 s
+        assert metrics.windowed_qps(60.0) == 0.0
+        assert metrics.windowed_qps(0.0) == 0.0
+
+    def test_render_format_is_stable(self):
+        # CI's drain smoke greps this exact phrasing — additive keys in
+        # snapshot() must not leak into the text report.
+        text = ServeMetrics().render()
+        assert "graceful drain complete" not in text  # drain line is CLI's
+        assert text.startswith("=== repro.serve metrics ===")
+        assert "windowed" not in text  # additive snapshot keys stay out
+
+
+# --------------------------------------------------------------------------- #
+# SLO gauges reconcile with the live service (acceptance criterion)
+# --------------------------------------------------------------------------- #
+
+
+class TestServiceSLOs:
+    def test_gauges_reconcile_exactly_with_serve_metrics(self, k5):
+        slos = (
+            SLO("lat", kind="latency", objective=0.9, threshold_ms=0.0001),
+            SLO("err", kind="error_rate", objective=0.999),
+        )
+        with _service(slos=slos) as service:
+            service.register_graph("g", k5)
+            for _ in range(4):
+                assert service.query("g", "P1").ok
+            flat = service.metrics.registry.flat()
+            outcomes = service.metrics.outcomes
+            for slo in slos:
+                for window_s in slo.windows_s:
+                    label = f"{int(window_s)}s"
+                    if slo.kind == "latency":
+                        total, errors, over = outcomes.counts(
+                            window_s, threshold_ms=slo.threshold_ms
+                        )
+                        bad = errors + over
+                    else:
+                        total, errors, _ = outcomes.counts(window_s)
+                        bad = errors
+                    expected = SLOTracker.burn_rate(total, bad, slo.objective)
+                    assert flat[f"slo.{slo.name}.burn.{label}"] == expected
+            # The impossible latency threshold makes every request "bad":
+            # burn = 1/budget = 10 >= burn_alert in every window.
+            assert flat["slo.lat.alert"] == 1
+            assert flat["slo.err.alert"] == 0
+            assert service.slo_tracker.active_alerts() == ["lat"]
+            snap = service.ops_snapshot()
+            assert snap["alerts"] == ["lat"]
+            assert any(e["kind"] == "slo.breach"
+                       for e in service.flight.events())
+
+    def test_slo_breach_can_trigger_incident_dump(self, k5, tmp_path):
+        slos = (SLO("lat", objective=0.9, threshold_ms=0.0001),)
+        with _service(slos=slos, dump_on_error=str(tmp_path)) as service:
+            service.register_graph("g", k5)
+            assert service.query("g", "P1").ok
+            path = service.incident_path
+            assert path is not None and os.path.exists(path)
+            bundle = load_incident(path)
+            assert bundle["reason"] == "slo.breach"
+            assert bundle["slos"][0]["name"] == "lat"
+
+
+# --------------------------------------------------------------------------- #
+# Cross-process stitching through shards (acceptance criterion)
+# --------------------------------------------------------------------------- #
+
+
+class TestCrossProcessTraces:
+    def test_faulted_sharded_request_stitches_two_processes(self, k5, tmp_path):
+        config = TDFSConfig(num_warps=4, shards=2)
+        with _service(
+            match_config=config,
+            shard_faults=(0,),
+            dump_on_error=str(tmp_path / "bundle.json"),
+            enable_result_cache=False,
+        ) as service:
+            service.register_graph("g", k5)
+            response = service.query("g", "P1")
+            assert response.ok
+            baseline = match(k5, "P1", config=TDFSConfig(num_warps=4))
+            assert response.count == baseline.count
+            path = service.incident_path
+        # The injected shard-0 kill is a fault event -> auto dump fired.
+        assert path == str(tmp_path / "bundle.json")
+        bundle = load_incident(path)
+        assert bundle["reason"] == "shard.failure"
+        (fail,) = [e for e in bundle["flight"]["events"]
+                   if e["kind"] == "shard.failure"]
+        trace_id = fail["trace_id"]
+        # The failing request's spans cross >= 2 processes in the stitched
+        # Chrome trace: the coordinator pid plus shard-worker pid(s).
+        events = [
+            e for e in bundle["chrome_trace"]["traceEvents"]
+            if e.get("ph") == "X" and e["args"].get("trace_id") == trace_id
+        ]
+        pids = {e["pid"] for e in events}
+        assert len(pids) >= 2, f"expected >=2 pids, got {pids}"
+        names = {e["name"] for e in events}
+        assert "shard.run" in names and "shard.dispatch" in names
+        # Shard-utilization aggregation sees the same child processes.
+        util = shard_utilization(bundle["spans"])
+        assert set(util) == {"s0", "s1"}
+        assert util["s0"]["runs"] >= 2  # killed attempt + re-execution
+
+    def test_trace_context_threads_through_queue_and_worker(self, k5):
+        with _service() as service:
+            service.register_graph("g", k5)
+            assert service.query("g", "P2").ok
+            spans = service.tracer.spans()
+            request_spans = [s for s in spans if s["name"] == "serve.request"]
+            engine_spans = [s for s in spans if s["name"] == "engine.run"]
+            assert request_spans and engine_spans
+            # worker span and engine span belong to the same trace
+            assert (request_spans[0]["trace_id"]
+                    == engine_spans[0]["trace_id"])
+            assert engine_spans[0]["tags"]["engine"] == "tdfs"
+
+
+# --------------------------------------------------------------------------- #
+# Flight recorder + dump-on-error under worker kills
+# --------------------------------------------------------------------------- #
+
+
+class TestDumpOnWorkerFault:
+    def test_worker_kill_produces_parseable_bundle(self, k5, tmp_path):
+        from repro.serve import SupervisorConfig
+
+        plan = WorkerFaultPlan(schedule=(
+            WorkerFaultSpec(WorkerFaultKind.KILL, request_id=1, delivery=1),
+        ))
+        with _service(
+            worker_faults=plan,
+            supervisor=SupervisorConfig(
+                checkpoint_every_events=5,
+                watchdog_interval_s=0.02,
+                seed=0,
+            ),
+            dump_on_error=str(tmp_path),
+            enable_result_cache=False,
+        ) as service:
+            service.register_graph("g", k5)
+            response = service.query("g", "P1", timeout=60.0)
+            assert response.ok  # redelivered after the kill
+            path = service.incident_path
+            assert path is not None
+        bundle = load_incident(path)
+        assert bundle["reason"] == "worker.crash"
+        kinds = bundle["flight"]["counts"]
+        assert kinds.get("worker.crash", 0) >= 1
+        assert kinds.get("request.admitted", 0) >= 1
+        # Only the FIRST fault dumps; later faults must not overwrite it.
+        assert bundle["pid"] == os.getpid()
+
+    def test_dump_incident_explicit_reason(self, k5, tmp_path):
+        with _service() as service:
+            service.register_graph("g", k5)
+            service.query("g", "P1")
+            path = service.dump_incident(
+                "manual", path=str(tmp_path / "manual.json")
+            )
+        bundle = load_incident(path)
+        assert bundle["reason"] == "manual"
+        assert bundle["metrics"]["counters"]["completed"] >= 1
+        assert bundle["info"]["graphs"] == "g"
+
+
+# --------------------------------------------------------------------------- #
+# Console rendering + sink tailing
+# --------------------------------------------------------------------------- #
+
+
+class TestConsole:
+    def test_ops_snapshot_renders(self, k5):
+        with _service(slos=(SLO("lat", objective=0.9),)) as service:
+            service.register_graph("g", k5)
+            service.query("g", "P1")
+            frame = render_top(service.ops_snapshot())
+        assert frame.startswith("=== repro top ===")
+        assert "requests          : 1 submitted, 1 completed" in frame
+        assert "slo lat" in frame
+        assert "alerts            :" in frame
+
+    def test_line_protocol_round_trip(self):
+        metrics = ServeMetrics()
+        metrics.incr("submitted", 5)
+        metrics.incr("completed", 4)
+        metrics.observe_latency(10.0)
+        metrics.set_queue_depth(3)
+        text = metrics.line_protocol(timestamp_ns=42)
+        flat = flat_from_line_protocol(text)
+        assert flat["serve.submitted"] == 5
+        assert flat["serve.latency_ms.p99"] == 10
+        snap = snapshot_from_flat(flat)
+        assert snap["counters"]["completed"] == 4
+        assert snap["queue"]["depth"] == 3
+        frame = render_top(snap)
+        assert "5 submitted, 4 completed" in frame
+
+    def test_line_protocol_tail_keeps_newest_frame(self):
+        text = (
+            "repro_serve,metric=serve.submitted value=1 100\n"
+            "repro_serve,metric=serve.submitted value=9 200\n"
+        )
+        assert flat_from_line_protocol(text)["serve.submitted"] == 9
+
+    def test_tsv_tail_and_slo_gauges(self, tmp_path):
+        path = tmp_path / "m.tsv"
+        path.write_text(
+            "# dump\nmetric\tvalue\n"
+            "serve.submitted\t7\n"
+            "slo.lat.burn.60s\t3.5\n"
+            "slo.lat.burn.600s\t2.5\n"
+            "slo.lat.alert\t1\n"
+        )
+        snap = snapshot_from_flat(tail_metrics(str(path)))
+        assert snap["counters"]["submitted"] == 7
+        assert snap["alerts"] == ["lat"]
+        (slo,) = snap["slos"]
+        assert slo["burn_rates"] == {"60s": 3.5, "600s": 2.5}
+        frame = render_top(snap)
+        assert "BREACH" in frame
+
+    def test_tail_metrics_rejects_garbage(self, tmp_path):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            tail_metrics(str(tmp_path / "missing"))
+        bad = tmp_path / "bad.txt"
+        bad.write_text("hello world\n")
+        with pytest.raises(ReproError):
+            tail_metrics(str(bad))
+        assert flat_from_tsv("metric\tvalue\nx\t1\n") == {"x": 1}
+
+
+# --------------------------------------------------------------------------- #
+# CLI: repro top / repro incident / serve flags
+# --------------------------------------------------------------------------- #
+
+
+class TestOpsCLI:
+    def test_top_tail_mode(self, tmp_path, capsys):
+        path = tmp_path / "m.lp"
+        path.write_text(
+            "repro_serve,metric=serve.submitted value=3 7\n"
+            "repro_serve,metric=serve.completed value=3 7\n"
+        )
+        assert main(["top", "--tail", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "3 submitted, 3 completed" in out
+
+    def test_top_in_process(self, capsys):
+        rc = main([
+            "top", "--dataset", "dblp", "--requests", "4", "--frames", "2",
+            "--workers", "1", "--slo", "error_rate:0.999",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "repro top (frame 1/2)" in out
+        assert "repro top (frame 2/2)" in out
+        assert "slo error-rate" in out
+
+    def test_incident_command(self, tmp_path, capsys):
+        with _service() as service:
+            service.register_graph(
+                "g",
+                from_edges([(0, 1), (1, 2), (2, 0)], name="t"),
+            )
+            service.query("g", "P1")
+            path = service.dump_incident(
+                "cli-test", path=str(tmp_path / "b.json")
+            )
+        assert main(["incident", path]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("=== repro incident: cli-test ===")
+
+    def test_incident_command_bad_file(self, tmp_path, capsys):
+        rc = main(["incident", str(tmp_path / "nope.json")])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_slo_spec_parsing(self):
+        from repro.cli import _parse_slo
+        from repro.errors import ReproError
+
+        slo = _parse_slo("latency:0.95:50")
+        assert (slo.name, slo.kind, slo.objective, slo.threshold_ms) == (
+            "latency-50ms", "latency", 0.95, 50.0,
+        )
+        assert _parse_slo("error_rate:0.999").name == "error-rate"
+        for bad in ("latency", "availability:0.9", "latency:fast"):
+            with pytest.raises(ReproError):
+                _parse_slo(bad)
